@@ -1,0 +1,37 @@
+# Convenience targets for the Rio reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-full examples table1 table2 clean
+
+install:
+	pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# The paper-scale campaign: 50 counted crashes per Table 1 cell.
+bench-full:
+	RIO_BENCH_CRASHES=50 $(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/crash_survival.py
+	$(PY) examples/inspect_rio.py
+	$(PY) examples/transaction_processing.py
+	$(PY) examples/file_server.py
+	$(PY) examples/fault_injection.py
+	$(PY) examples/performance_table.py
+
+table1:
+	$(PY) -m repro table1 --scale 4
+
+table2:
+	$(PY) -m repro table2
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,12 @@
+"""Shared helpers importable by benchmark modules.
+
+(Separate from conftest.py so the import name cannot collide with the
+tests/ conftest when both directories are collected in one run.)
+"""
+
+import os
+
+
+def bench_crashes_per_cell() -> int:
+    """Counted crashes per Table 1 cell (paper: 50)."""
+    return int(os.environ.get("RIO_BENCH_CRASHES", "4"))

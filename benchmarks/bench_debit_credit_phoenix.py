@@ -1,0 +1,116 @@
+"""Related-work quantifications (section 6).
+
+* **Debit/credit protection overhead** — Sullivan & Stonebraker's
+  "expose page" costs 7% on debit/credit because every protection change
+  is a system call and records are small; "The overhead of Rio's
+  protection mechanism, which is negligible, is lower for two reasons"
+  (in-kernel protection toggles; page-sized cache writes amortizing each
+  window).  We measure Rio's protection overhead on the same workload
+  shape and the throughput gap to a write-through system — the paper's
+  transaction-processing motivation.
+* **Phoenix comparison** — Phoenix [Gait90] makes writes permanent only
+  at checkpoints and holds two copies of modified pages; Rio makes every
+  write permanent with one copy.  Both differences are measured.
+"""
+
+from repro.core import ProtectionMode, RioConfig
+from repro.system import SystemSpec, build_system
+from repro.workloads.debit_credit import DebitCreditParams, DebitCreditWorkload
+
+PARAMS = DebitCreditParams(accounts=128, transactions=300)
+
+
+def run_debit_credit(spec: SystemSpec):
+    system = build_system(spec)
+    bench = DebitCreditWorkload(system.vfs, system.kernel, PARAMS)
+    bench.setup()
+    result = bench.run()
+    return system, result
+
+
+def test_debit_credit_protection_overhead(benchmark, record_result):
+    def measure():
+        results = {}
+        for label, mode in (
+            ("no protection", ProtectionMode.NONE),
+            ("vm/kseg", ProtectionMode.VM_KSEG),
+            ("code patching", ProtectionMode.CODE_PATCHING),
+        ):
+            spec = SystemSpec(
+                policy="rio",
+                rio=RioConfig(protection=mode, maintain_checksums=False),
+            )
+            _, result = run_debit_credit(spec)
+            results[label] = result
+        _, wt = run_debit_credit(SystemSpec(policy="wt_write"))
+        results["write-through disk"] = wt
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = results["no protection"]
+    vm_overhead = results["vm/kseg"].seconds / base.seconds - 1.0
+    record_result(
+        "debit_credit",
+        "debit/credit, 300 transactions with synchronous commit:\n"
+        + "\n".join(
+            f"  {label:18s}: {r.seconds:8.4f}s  ({r.tps:9.1f} tps)"
+            for label, r in results.items()
+        )
+        + f"\n  Rio VM/KSEG protection overhead: {100 * vm_overhead:.2f}%"
+        + "\n  (expose-page [Sullivan91a] cost 7%; Rio's 'is negligible')"
+        + f"\n  Rio vs write-through speedup: "
+        f"{results['vm/kseg'].tps / results['write-through disk'].tps:.1f}x",
+    )
+    # Rio's protection is far below expose-page's 7% on the same shape.
+    assert vm_overhead < 0.03
+    # Synchronous commits at memory speed vs disk speed.
+    assert results["vm/kseg"].tps > 5 * results["write-through disk"].tps
+
+
+def test_phoenix_vs_rio(benchmark, record_result):
+    def measure():
+        # Rio: every committed write survives.
+        rio = build_system(SystemSpec(policy="rio", rio=RioConfig.with_protection()))
+        fd = rio.vfs.open("/ledger", create=True)
+        for i in range(32):
+            rio.vfs.pwrite(fd, f"entry {i:04d};".encode(), i * 16)
+        rio.vfs.close(fd)
+        rio_extra_frames = 0
+        rio.crash("boom")
+        rio.reboot()
+        rio_survives = rio.fs.read(rio.fs.namei("/ledger"), 0, 16 * 32).count(b"entry")
+
+        # Phoenix: only entries before the last checkpoint survive.
+        phoenix = build_system(SystemSpec(policy="rio", phoenix=True))
+        fd = phoenix.vfs.open("/ledger", create=True)
+        for i in range(16):
+            phoenix.vfs.pwrite(fd, f"entry {i:04d};".encode(), i * 16)
+        phoenix.vfs.close(fd)
+        phoenix.phoenix.checkpoint()
+        phoenix_extra_frames = phoenix.phoenix.snapshot_frames
+        fd = phoenix.vfs.open("/ledger")
+        for i in range(16, 32):
+            phoenix.vfs.pwrite(fd, f"entry {i:04d};".encode(), i * 16)
+        phoenix.vfs.close(fd)
+        phoenix.crash("boom")
+        phoenix.reboot()
+        phoenix_survives = phoenix.fs.read(
+            phoenix.fs.namei("/ledger"), 0, 16 * 32
+        ).count(b"entry")
+        return rio_survives, rio_extra_frames, phoenix_survives, phoenix_extra_frames
+
+    rio_n, rio_frames, phx_n, phx_frames = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    record_result(
+        "phoenix_vs_rio",
+        f"32 ledger entries written, crash after the 32nd:\n"
+        f"  Rio     : {rio_n}/32 entries survive; extra snapshot frames: {rio_frames}\n"
+        f"  Phoenix : {phx_n}/32 entries survive (checkpoint was at 16); "
+        f"extra snapshot frames: {phx_frames}\n"
+        "  paper: Phoenix makes writes permanent only at checkpoints and\n"
+        "  keeps multiple copies of modified pages; Rio does neither.",
+    )
+    assert rio_n == 32
+    assert phx_n == 16
+    assert rio_frames == 0 and phx_frames > 0

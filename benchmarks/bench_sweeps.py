@@ -1,0 +1,75 @@
+"""Parameter sweeps: where the paper's conclusions live in design space.
+
+Three sweeps over the cp+rm workload:
+
+* update-daemon interval (the delayed system's knob; Rio has none),
+* disk bandwidth (what happens as "disk" gets faster — the question the
+  NVM literature descended from this paper keeps asking),
+* working-set size (Rio's advantage vs. the amount of data written).
+"""
+
+from repro.perf.sweeps import (
+    format_sweep,
+    sweep_disk_bandwidth,
+    sweep_update_interval,
+    sweep_working_set,
+)
+from repro.workloads.cp_rm import CpRmParams
+
+SMALL_TREE = CpRmParams(dirs=6, files_per_dir=6, mean_file_bytes=16 * 1024)
+
+
+def test_update_interval_sweep(benchmark, record_result):
+    results = benchmark.pedantic(
+        sweep_update_interval,
+        kwargs=dict(intervals_s=(0.25, 1.0, 4.0), cp_rm_params=SMALL_TREE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "sweep_update_interval",
+        "cp+rm vs update-daemon interval (virtual seconds):\n"
+        + format_sweep(results, "interval (s)"),
+    )
+    # Rio does not depend on the daemon at all.
+    rio = [results[("rio_prot", x)] for x in (0.25, 1.0, 4.0)]
+    assert max(rio) - min(rio) < 0.2 * max(rio)
+    # The delayed system is never faster than Rio.
+    for x in (0.25, 1.0, 4.0):
+        assert results[("ufs_delayed", x)] >= results[("rio_prot", x)] * 0.95
+
+
+def test_disk_bandwidth_sweep(benchmark, record_result):
+    bandwidths = (2, 10, 40)
+    results = benchmark.pedantic(
+        sweep_disk_bandwidth,
+        kwargs=dict(bandwidths_mb_s=bandwidths, cp_rm_params=SMALL_TREE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "sweep_disk_bandwidth",
+        "cp+rm vs disk bandwidth (virtual seconds):\n"
+        + format_sweep(results, "MB/s")
+        + "\n(faster disks shrink the write-through gap; Rio barely moves)",
+    )
+    # Write-through improves monotonically with bandwidth...
+    wt = [results[("wt_write", b)] for b in bandwidths]
+    assert wt[0] > wt[1] > wt[2]
+    # ...but even at 40 MB/s Rio still wins (seeks dominate).
+    assert results[("wt_write", 40)] > results[("rio_prot", 40)]
+
+
+def test_working_set_sweep(benchmark, record_result):
+    scales = (1, 2, 4)
+    results = benchmark.pedantic(
+        sweep_working_set, kwargs=dict(scales=scales), rounds=1, iterations=1
+    )
+    record_result(
+        "sweep_working_set",
+        "cp+rm vs tree size (virtual seconds; scale 1 = 0.5 MB):\n"
+        + format_sweep(results, "scale"),
+    )
+    # Rio's absolute advantage grows with the amount written.
+    gaps = [results[("wt_write", s)] - results[("rio_prot", s)] for s in scales]
+    assert gaps[0] < gaps[-1]

@@ -1,0 +1,88 @@
+"""Table 2: running time of cp+rm, Sdet and Andrew on eight systems.
+
+Regenerates the table and checks the paper's headline ratio claims as
+*shape* assertions: Rio must beat the write-through systems by a large
+factor, the default UFS by a middling one, the delayed no-order system by
+a small one; protection must be essentially free; Rio must be close to
+MFS.
+"""
+
+import pytest
+
+from repro.perf import Table2, format_table2, ratio_summary, run_table2
+from repro.perf.report import format_ratio_summary
+
+PAPER_TABLE2 = """Paper's Table 2 (seconds, DEC 3000/600):
+  System                cp+rm        Sdet   Andrew
+  MFS                   21 (15+6)    43     13
+  UFS delayed           81 (76+5)    47     13
+  AdvFS                 125 (110+15) 132    16
+  UFS                   332 (245+87) 401    23
+  UFS wt-on-close       394 (274+120) 699   49
+  UFS wt-on-write       539 (419+120) 910   178
+  Rio without protection 24 (18+6)   42     12
+  Rio with protection   25 (18+7)    42     13"""
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return Table2(results=run_table2())
+
+
+def test_table2_full_grid(benchmark, record_result):
+    table = benchmark.pedantic(
+        lambda: Table2(results=run_table2()), rounds=1, iterations=1
+    )
+    text = (
+        format_table2(table)
+        + "\n\n"
+        + format_ratio_summary(ratio_summary(table))
+        + "\n\n"
+        + PAPER_TABLE2
+    )
+    record_result("table2_performance", text)
+
+    summary = ratio_summary(table)
+    # Rio vs the write-through systems: the paper's 4-22x band.
+    low, high = summary["rio_vs_wt_write"]
+    assert low > 3.0 and high > 10.0, summary
+    # Rio vs the default UFS: the paper's 2-14x band.
+    low, high = summary["rio_vs_ufs"]
+    assert low > 2.0 and high > 8.0, summary
+    # Rio vs the optimized no-order system: the paper's 1-3x band.
+    low, high = summary["rio_vs_delayed"]
+    assert 0.9 <= low <= 1.5 and high <= 4.0, summary
+    # Protection adds essentially no overhead.
+    low, high = summary["protection_overhead"]
+    assert high <= 1.05, summary
+    # Rio performs about as fast as a memory file system.
+    low, high = summary["rio_vs_mfs"]
+    assert high <= 1.5, summary
+
+
+def test_rio_orders_between_mfs_and_everything_else(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for workload in ("cp_rm", "sdet", "andrew"):
+        rio = table2.seconds("rio_prot", workload)
+        assert rio <= table2.seconds("ufs", workload)
+        assert rio <= table2.seconds("wt_close", workload)
+        assert rio <= table2.seconds("wt_write", workload)
+
+
+def test_write_through_ordering(table2, benchmark):
+    """wt-on-write >= wt-on-close >= default UFS, per workload, as in the
+    paper's columns."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for workload in ("sdet", "andrew"):
+        assert (
+            table2.seconds("wt_write", workload)
+            >= table2.seconds("wt_close", workload)
+            >= table2.seconds("ufs", workload) * 0.95
+        )
+
+
+def test_rio_issues_no_reliability_writes(table2, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for workload in ("sdet", "andrew"):
+        stats = table2.results[("rio_prot", workload)].disk_stats
+        assert stats["writes"] == 0, stats

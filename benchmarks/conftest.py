@@ -1,0 +1,42 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table, figure, or quantified claim from
+the paper, prints it, and appends it to ``benchmarks/results/`` so the
+EXPERIMENTS.md comparison can be refreshed from a single run.
+
+Scale knobs (environment variables):
+
+* ``RIO_BENCH_CRASHES`` — counted crashes per Table 1 cell (default 4;
+  the paper used 50.  Expect roughly 1-2 minutes per 10 crashes).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Save a named result artifact and echo it to stdout."""
+
+    def save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n---- {name} ----")
+        print(text)
+
+    return save
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a long experiment exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

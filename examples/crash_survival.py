@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crash survival across file system designs.
+
+Writes the same files on five systems — Rio, write-through, default UFS,
+delayed-write UFS, and MFS — crashes each at the same point, reboots, and
+shows what survived.  This is the reliability/performance trade-off of
+the paper's introduction made concrete: before Rio you could have speed
+(delayed, MFS) or safety (write-through), not both.
+
+Run:  python examples/crash_survival.py
+"""
+
+from repro import RioConfig, SystemSpec, build_system
+
+SYSTEMS = [
+    ("Rio (protection on)", SystemSpec(policy="rio", rio=RioConfig.with_protection())),
+    ("UFS write-through", SystemSpec(policy="wt_write")),
+    ("UFS default", SystemSpec(policy="ufs")),
+    ("UFS delayed 30s", SystemSpec(policy="ufs_delayed")),
+    ("Memory FS", SystemSpec(fs_type="mfs")),
+]
+
+FILES = {
+    "/report.txt": b"quarterly numbers",
+    "/mail/inbox": b"unread message",
+    "/src/kernel.c": b"int main() { /* ... */ }",
+}
+
+
+def exercise(spec: SystemSpec) -> tuple[int, float, int]:
+    """Returns (files survived, virtual seconds spent writing, disk writes)."""
+    system = build_system(spec)
+    vfs = system.vfs
+    t0 = system.clock.now_ns
+    vfs.mkdir("/mail")
+    vfs.mkdir("/src")
+    for path, content in FILES.items():
+        fd = vfs.open(path, create=True)
+        vfs.write(fd, content)
+        vfs.close(fd)
+    elapsed = (system.clock.now_ns - t0) / 1e9
+    writes = system.disk.stats.writes if system.disk else 0
+
+    system.crash("the usual way: a kernel bug")
+    system.reboot()
+
+    survived = 0
+    for path, content in FILES.items():
+        try:
+            if system.vfs.exists(path):
+                ino = system.fs.namei(path)
+                if system.fs.read(ino, 0, 64) == content:
+                    survived += 1
+        except Exception:
+            pass
+    return survived, elapsed, writes
+
+
+def main() -> None:
+    print("== Crash survival comparison ==")
+    print(f"{'system':24s} {'survived':>9s} {'write time':>11s} {'disk writes':>12s}")
+    for name, spec in SYSTEMS:
+        survived, elapsed, writes = exercise(spec)
+        print(
+            f"{name:24s} {survived}/{len(FILES):>6d} {elapsed * 1000:>9.2f}ms {writes:>12d}"
+        )
+    print()
+    print("Rio keeps every byte with zero reliability-induced disk writes;")
+    print("write-through keeps every byte by paying a disk write per update;")
+    print("the fast asynchronous systems quietly lose recent data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+Allows `pip install -e . --no-build-isolation --no-use-pep517`; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

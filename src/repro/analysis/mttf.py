@@ -1,0 +1,46 @@
+"""The paper's MTTF (mean time to failure) model (section 3.3).
+
+"To illustrate, consider a system that crashes once every two months ...
+If these crashes were the sole cause of data corruption, the MTTF of a
+disk-based system would be 15 years, and the MTTF of Rio without
+protection would be 11 years."
+
+MTTF = (time between crashes) / (probability a crash corrupts data).
+"""
+
+from __future__ import annotations
+
+MONTHS_PER_YEAR = 12.0
+
+
+def mttf_years(
+    corruptions: int,
+    crashes: int,
+    months_between_crashes: float = 2.0,
+) -> float:
+    """Expected years until a crash corrupts file data."""
+    if crashes <= 0:
+        raise ValueError("crashes must be positive")
+    if corruptions <= 0:
+        return float("inf")
+    corruption_rate = corruptions / crashes
+    return months_between_crashes / corruption_rate / MONTHS_PER_YEAR
+
+
+def mttf_table(
+    rates: dict[str, tuple[int, int]],
+    months_between_crashes: float = 2.0,
+) -> dict[str, float]:
+    """MTTF per system from {name: (corruptions, crashes)}."""
+    return {
+        name: mttf_years(corruptions, crashes, months_between_crashes)
+        for name, (corruptions, crashes) in rates.items()
+    }
+
+
+#: The paper's Table 1 totals, for comparison benches.
+PAPER_RATES = {
+    "disk": (7, 650),
+    "rio_noprot": (10, 650),
+    "rio_prot": (4, 650),
+}

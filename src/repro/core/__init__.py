@@ -1,0 +1,52 @@
+"""Rio: the paper's contribution — a file cache that survives OS crashes.
+
+Three cooperating pieces (sections 2.1-2.3):
+
+* :mod:`~repro.core.registry` — a protected, fixed-location region of
+  physical memory recording, for every file cache buffer, everything a
+  rebooting kernel needs to find, identify and restore it (physical
+  address, file id, offset, size, dirty/changing flags, disk block for
+  metadata, detection checksum).
+* :mod:`~repro.core.protection` — write-protects file cache pages and
+  forces KSEG through the TLB (or falls back to code patching), turning
+  wild stores into traps that halt the system before corruption spreads.
+* :mod:`~repro.core.warm_reboot` — on reboot: dump physical memory to
+  swap, restore metadata to disk from the registry (before fsck), then
+  restore UBC file data through normal system calls.
+
+:class:`~repro.core.rio.RioFileCache` wires these into a kernel via the
+cache-guard interface; :class:`~repro.core.config.RioConfig` selects the
+paper's three evaluated systems (disk-based, Rio without protection, Rio
+with protection) plus the code-patching variant.
+"""
+
+from repro.core.config import ProtectionMode, RioConfig
+from repro.core.registry import (
+    Registry,
+    RegistryEntry,
+    FLAG_VALID,
+    FLAG_DIRTY,
+    FLAG_CHANGING,
+    FLAG_META,
+)
+from repro.core.protection import ProtectionManager
+from repro.core.guard import RioGuard
+from repro.core.rio import RioFileCache
+from repro.core.warm_reboot import WarmRebootReport, dump_and_recover_metadata, restore_ubc
+
+__all__ = [
+    "ProtectionMode",
+    "RioConfig",
+    "Registry",
+    "RegistryEntry",
+    "FLAG_VALID",
+    "FLAG_DIRTY",
+    "FLAG_CHANGING",
+    "FLAG_META",
+    "ProtectionManager",
+    "RioGuard",
+    "RioFileCache",
+    "WarmRebootReport",
+    "dump_and_recover_metadata",
+    "restore_ubc",
+]

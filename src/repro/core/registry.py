@@ -1,0 +1,249 @@
+"""The Rio registry (section 2.2).
+
+"Instead of understanding and protecting all intermediate data structures,
+we keep and protect a separate area of memory, which we call the registry,
+that contains all information needed to find, identify, and restore files
+in memory.  For each buffer in the file cache, the registry contains the
+physical memory address, file id (device number and inode number), file
+offset, and size."
+
+Ours adds three fields the rest of the paper implies: flags (valid /
+dirty / changing / metadata), the disk block for metadata buffers (used by
+warm reboot to restore metadata "using the disk address stored in the
+registry"), and the detection checksum of section 3.2.  48 bytes per 8 KB
+page — the same order as the paper's 40.
+
+The registry lives in a fixed run of frames at the top of physical memory,
+headed by a magic number, so a rebooting kernel can find it by address
+with no intermediate data structures.  During normal operation the kernel
+reads and writes it through the bus (so protection applies); after a crash
+the recovery path reads it straight out of the raw memory image.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, ContextManager, Optional
+
+from repro.errors import ConfigurationError, NoSpace
+from repro.hw.bus import AccessContext, MemoryBus
+from repro.hw.mmu import KSEG_BASE
+
+REGISTRY_MAGIC = 0x52494F5245470001  # "RIOREG" v1
+HEADER_SIZE = 64
+ENTRY_SIZE = 48
+NO_DISK_BLOCK = (1 << 64) - 1
+
+FLAG_VALID = 1
+FLAG_DIRTY = 2
+FLAG_CHANGING = 4
+FLAG_META = 8
+
+_HEADER_FMT = struct.Struct("<QIIQ")  # magic, capacity, entry_size, base_paddr
+_ENTRY_FMT = struct.Struct("<QIIQIIQII")
+# phys_addr, dev, ino, file_offset, size, flags, disk_block, checksum, pad
+
+_REG_CTX = AccessContext(procedure="registry_update")
+
+
+@dataclass
+class RegistryEntry:
+    """A decoded registry entry."""
+
+    slot: int
+    phys_addr: int = 0
+    dev: int = 0
+    ino: int = 0
+    file_offset: int = 0
+    size: int = 0
+    flags: int = 0
+    disk_block: Optional[int] = None
+    checksum: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.flags & FLAG_DIRTY)
+
+    @property
+    def changing(self) -> bool:
+        return bool(self.flags & FLAG_CHANGING)
+
+    @property
+    def is_metadata(self) -> bool:
+        return bool(self.flags & FLAG_META)
+
+    def to_bytes(self) -> bytes:
+        disk_block = NO_DISK_BLOCK if self.disk_block is None else self.disk_block
+        return _ENTRY_FMT.pack(
+            self.phys_addr,
+            self.dev,
+            self.ino,
+            self.file_offset,
+            self.size,
+            self.flags,
+            disk_block,
+            self.checksum,
+            0,
+        )
+
+    @classmethod
+    def from_bytes(cls, slot: int, data: bytes) -> "RegistryEntry":
+        (
+            phys_addr,
+            dev,
+            ino,
+            file_offset,
+            size,
+            flags,
+            disk_block,
+            checksum,
+            _pad,
+        ) = _ENTRY_FMT.unpack(data[:ENTRY_SIZE])
+        return cls(
+            slot=slot,
+            phys_addr=phys_addr,
+            dev=dev,
+            ino=ino,
+            file_offset=file_offset,
+            size=size,
+            flags=flags,
+            disk_block=None if disk_block == NO_DISK_BLOCK else disk_block,
+            checksum=checksum,
+        )
+
+
+def capacity_for(region_bytes: int) -> int:
+    """How many entries fit in a registry region of this size."""
+    return (region_bytes - HEADER_SIZE) // ENTRY_SIZE
+
+
+class Registry:
+    """The live registry, accessed through the bus via KSEG addresses."""
+
+    def __init__(
+        self,
+        bus: MemoryBus,
+        base_paddr: int,
+        region_bytes: int,
+        window: Callable[[], ContextManager] | None = None,
+    ) -> None:
+        self.bus = bus
+        self.base_paddr = base_paddr
+        self.region_bytes = region_bytes
+        self.capacity = capacity_for(region_bytes)
+        if self.capacity <= 0:
+            raise ConfigurationError("registry region too small")
+        #: Context manager factory that opens a protection window over the
+        #: registry frames; installed by the protection manager.
+        self.window = window or (lambda: nullcontext())
+        self._free_slots: list[int] = list(range(self.capacity - 1, -1, -1))
+
+    # -- addressing --------------------------------------------------------
+
+    @property
+    def base_vaddr(self) -> int:
+        return KSEG_BASE + self.base_paddr
+
+    def entry_vaddr(self, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise ConfigurationError(f"registry slot {slot} out of range")
+        return self.base_vaddr + HEADER_SIZE + slot * ENTRY_SIZE
+
+    # -- initialisation --------------------------------------------------------
+
+    def format(self) -> None:
+        """Write the header and zero all entries (boot of a cold system)."""
+        with self.window():
+            header = _HEADER_FMT.pack(
+                REGISTRY_MAGIC, self.capacity, ENTRY_SIZE, self.base_paddr
+            )
+            self.bus.store(self.base_vaddr, header, _REG_CTX)
+            zero = b"\x00" * ENTRY_SIZE
+            for slot in range(self.capacity):
+                self.bus.store(self.entry_vaddr(slot), zero, _REG_CTX)
+        self._free_slots = list(range(self.capacity - 1, -1, -1))
+
+    # -- slot management ----------------------------------------------------------
+
+    def alloc_slot(self) -> int:
+        """Claim a free slot (in-kernel free list; VALID flags are the
+        crash-surviving truth)."""
+        if not self._free_slots:
+            raise NoSpace("registry full")
+        return self._free_slots.pop()
+
+    def free_slot(self, slot: int) -> None:
+        """Invalidate and recycle a slot."""
+        self.write_entry(RegistryEntry(slot=slot))  # flags=0: invalid
+        self._free_slots.append(slot)
+
+    # -- entry access ---------------------------------------------------------------
+
+    def write_entry(self, entry: RegistryEntry) -> None:
+        """Serialize an entry through the protection window."""
+        with self.window():
+            self.bus.store(self.entry_vaddr(entry.slot), entry.to_bytes(), _REG_CTX)
+
+    def read_entry(self, slot: int) -> RegistryEntry:
+        """Parse the entry stored in ``slot``."""
+        return RegistryEntry.from_bytes(
+            slot, self.bus.load(self.entry_vaddr(slot), ENTRY_SIZE, _REG_CTX)
+        )
+
+    def update_flags(self, slot: int, *, set_flags: int = 0, clear_flags: int = 0) -> None:
+        """Read-modify-write of an entry's flag bits."""
+        entry = self.read_entry(slot)
+        entry.flags = (entry.flags | set_flags) & ~clear_flags
+        self.write_entry(entry)
+
+    def update_fields(self, slot: int, **fields) -> None:
+        """Read-modify-write of named entry fields."""
+        entry = self.read_entry(slot)
+        for name, value in fields.items():
+            if not hasattr(entry, name):
+                raise ConfigurationError(f"no registry field {name!r}")
+            setattr(entry, name, value)
+        self.write_entry(entry)
+
+    def valid_entries(self) -> list[RegistryEntry]:
+        """All entries with the VALID flag set."""
+        return [e for slot in range(self.capacity) if (e := self.read_entry(slot)).valid]
+
+
+# -- post-crash access (raw memory image, no kernel required) -----------------
+
+
+def find_registry_in_image(image: bytes, page_size: int) -> tuple[int, int] | None:
+    """Locate the registry in a raw memory image.
+
+    Scans page-aligned offsets from the top of memory down (the registry
+    lives in reserved top frames).  Returns ``(base_offset, capacity)`` or
+    None if no registry is present (e.g. a non-Rio system, or a PC that
+    scrubbed memory during reset).
+    """
+    for offset in range(len(image) - page_size, -1, -page_size):
+        if len(image) - offset < HEADER_SIZE:
+            continue
+        magic, capacity, entry_size, base_paddr = _HEADER_FMT.unpack(
+            image[offset : offset + _HEADER_FMT.size]
+        )
+        if magic == REGISTRY_MAGIC and entry_size == ENTRY_SIZE and base_paddr == offset:
+            return offset, capacity
+    return None
+
+
+def read_entries_from_image(image: bytes, base_offset: int, capacity: int) -> list[RegistryEntry]:
+    """Decode all valid entries from a raw memory image."""
+    entries = []
+    for slot in range(capacity):
+        start = base_offset + HEADER_SIZE + slot * ENTRY_SIZE
+        entry = RegistryEntry.from_bytes(slot, image[start : start + ENTRY_SIZE])
+        if entry.valid:
+            entries.append(entry)
+    return entries

@@ -1,0 +1,274 @@
+"""The simulated disk: sector store, request queue, crash semantics.
+
+Write handling is the part that matters for the paper's experiments:
+
+* A write is *applied to the sector store immediately* (so later reads see
+  it, as they would from a real controller's queue) but also recorded as a
+  pending request carrying the sectors' prior contents.
+* On a clean completion (virtual time passes the request's completion
+  time) the request retires and the prior contents are dropped.
+* On a **crash**, queued requests are resolved against the crash time:
+  completed ones stand; never-started ones are rolled back entirely (the
+  data "had not yet made it to disk"); the one in flight is partially
+  applied with its boundary sector *torn* — scrambled so that neither old
+  nor new contents survive, exactly the disk vulnerability the paper
+  concedes ("a disk sector being written during a system crash can be
+  corrupted").
+
+Synchronous writes advance the virtual clock to the completion time before
+returning, which is why write-through file systems are slow in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, MachineCheck
+from repro.disk.model import DiskParameters
+from repro.hw.clock import Clock
+
+
+@dataclass
+class DiskRequest:
+    """One queued disk operation."""
+
+    kind: str  # "read" | "write"
+    sector: int
+    nsectors: int
+    submit_ns: int
+    start_ns: int
+    completion_ns: int
+    old_data: Optional[bytes] = None  # original contents (writes only)
+    on_complete: Optional[Callable[["DiskRequest"], None]] = None
+    retired: bool = False
+
+    @property
+    def end_sector(self) -> int:
+        return self.sector + self.nsectors
+
+
+@dataclass
+class DiskStats:
+    reads: int = 0
+    writes: int = 0
+    sync_writes: int = 0
+    async_writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    busy_ns: int = 0
+    sync_wait_ns: int = 0
+    #: Writes discarded or torn by a crash.
+    lost_writes: int = 0
+    torn_sectors: int = 0
+
+
+class SimulatedDisk:
+    """A sector-addressed disk with virtual-time service and crash tears."""
+
+    def __init__(
+        self,
+        name: str,
+        num_sectors: int,
+        params: DiskParameters | None = None,
+    ) -> None:
+        self.name = name
+        self.params = params or DiskParameters()
+        self.num_sectors = num_sectors
+        self.sector_size = self.params.sector_size
+        self._sectors: dict[int, bytes] = {}
+        self._clock: Clock | None = None
+        self._pending: list[DiskRequest] = []
+        self._busy_until_ns = 0
+        self._last_sector_end: int | None = None
+        self.stats = DiskStats()
+
+    # -- attachment --------------------------------------------------------
+
+    def attach(self, clock: Clock) -> None:
+        self._clock = clock
+        clock.on_advance(self._on_clock_advance)
+
+    def _require_clock(self) -> Clock:
+        if self._clock is None:
+            raise ConfigurationError(f"disk {self.name!r} not attached to a clock")
+        return self._clock
+
+    # -- raw sector store (no timing; used by detectors and test setup) -----
+
+    def _check_range(self, sector: int, count: int) -> None:
+        if count < 0:
+            raise ValueError("negative sector count")
+        if sector < 0 or sector + count > self.num_sectors:
+            raise MachineCheck(
+                f"disk {self.name}: sectors [{sector}, {sector + count}) out of range"
+            )
+
+    def peek(self, sector: int, count: int) -> bytes:
+        """Read sectors without consuming virtual time."""
+        self._check_range(sector, count)
+        out = bytearray()
+        for s in range(sector, sector + count):
+            out += self._sectors.get(s, b"\x00" * self.sector_size)
+        return bytes(out)
+
+    def poke(self, sector: int, data: bytes) -> None:
+        """Write sectors without queueing or consuming time (mkfs, tests)."""
+        if len(data) % self.sector_size:
+            raise ValueError("poke data must be whole sectors")
+        count = len(data) // self.sector_size
+        self._check_range(sector, count)
+        for i in range(count):
+            self._sectors[sector + i] = bytes(
+                data[i * self.sector_size : (i + 1) * self.sector_size]
+            )
+
+    # -- timed operations ----------------------------------------------------
+
+    def _note_position(self, sector: int, nsectors: int) -> None:
+        self._last_sector_end = sector + nsectors
+
+    def _sequential_with(self, sector: int) -> bool:
+        return self._last_sector_end == sector
+
+    def read(self, sector: int, count: int) -> bytes:
+        """Synchronous read: blocks (advances the clock) until done."""
+        self._check_range(sector, count)
+        clock = self._require_clock()
+        start = max(clock.now_ns, self._busy_until_ns)
+        service = self.params.service_ns(
+            count * self.sector_size, sequential=self._sequential_with(sector)
+        )
+        completion = start + service
+        self.stats.reads += 1
+        self.stats.sectors_read += count
+        self.stats.busy_ns += service
+        self._busy_until_ns = completion
+        self._note_position(sector, count)
+        clock.advance_to(completion)
+        return self.peek(sector, count)
+
+    def write(
+        self,
+        sector: int,
+        data: bytes,
+        *,
+        sync: bool,
+        on_complete: Optional[Callable[[DiskRequest], None]] = None,
+    ) -> DiskRequest:
+        """Write sectors; ``sync=True`` blocks until the platter has them."""
+        if len(data) % self.sector_size:
+            raise ValueError("write data must be whole sectors")
+        count = len(data) // self.sector_size
+        self._check_range(sector, count)
+        clock = self._require_clock()
+        start = max(clock.now_ns, self._busy_until_ns)
+        service = self.params.service_ns(
+            count * self.sector_size, sequential=self._sequential_with(sector)
+        )
+        completion = start + service
+        request = DiskRequest(
+            kind="write",
+            sector=sector,
+            nsectors=count,
+            submit_ns=clock.now_ns,
+            start_ns=start,
+            completion_ns=completion,
+            old_data=self.peek(sector, count),
+            on_complete=on_complete,
+        )
+        self.poke(sector, data)  # visible to subsequent reads immediately
+        self._pending.append(request)
+        self._busy_until_ns = completion
+        self._note_position(sector, count)
+        self.stats.writes += 1
+        self.stats.sectors_written += count
+        self.stats.busy_ns += service
+        if sync:
+            self.stats.sync_writes += 1
+            self.stats.sync_wait_ns += completion - clock.now_ns
+            clock.advance_to(completion)  # retires via the clock listener
+        else:
+            self.stats.async_writes += 1
+        return request
+
+    def drain(self) -> None:
+        """Block until every queued write is on the platter."""
+        clock = self._require_clock()
+        if self._pending:
+            clock.advance_to(max(r.completion_ns for r in self._pending))
+        self._retire(clock.now_ns)
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._pending)
+
+    @property
+    def busy_until_ns(self) -> int:
+        return self._busy_until_ns
+
+    # -- retirement and crash handling ----------------------------------------
+
+    def _on_clock_advance(self, now_ns: int) -> None:
+        if self._pending:
+            self._retire(now_ns)
+
+    def _retire(self, now_ns: int) -> None:
+        still_pending: list[DiskRequest] = []
+        for request in self._pending:
+            if request.completion_ns <= now_ns:
+                request.retired = True
+                request.old_data = None
+                if request.on_complete is not None:
+                    request.on_complete(request)
+            else:
+                still_pending.append(request)
+        self._pending = still_pending
+
+    def crash(self) -> None:
+        """Resolve the queue as of the crash instant (see module docstring)."""
+        clock = self._require_clock()
+        now = clock.now_ns
+        self._retire(now)
+        # Requests are ordered by start time; roll back from the tail so
+        # overlapping writes restore the oldest surviving contents.
+        in_flight: DiskRequest | None = None
+        for request in reversed(self._pending):
+            if request.start_ns >= now:
+                # Never reached the disk: vanishes without trace.
+                self.poke(request.sector, request.old_data)
+                self.stats.lost_writes += 1
+            else:
+                # At most one request can be mid-service at the crash.
+                in_flight = request
+        if in_flight is not None:
+            self._tear(in_flight, now)
+            self.stats.lost_writes += 1
+        self._pending = []
+        self._busy_until_ns = now
+
+    def _tear(self, request: DiskRequest, now_ns: int) -> None:
+        """Partially apply an in-flight write, scrambling the torn sector."""
+        duration = max(1, request.completion_ns - request.start_ns)
+        fraction = (now_ns - request.start_ns) / duration
+        done = min(request.nsectors, max(0, int(request.nsectors * fraction)))
+        # Sectors beyond the head position retain their old contents.
+        if done + 1 < request.nsectors:
+            tail = request.old_data[(done + 1) * self.sector_size :]
+            self.poke(request.sector + done + 1, tail)
+        if done < request.nsectors:
+            # The sector under the head is torn: a deterministic scramble
+            # that matches neither the old nor the new contents.
+            new = self.peek(request.sector + done, 1)
+            old = request.old_data[done * self.sector_size : (done + 1) * self.sector_size]
+            half = self.sector_size // 2
+            torn = bytes(b ^ 0xA5 for b in new[:half]) + old[half:]
+            self.poke(request.sector + done, torn)
+            self.stats.torn_sectors += 1
+
+    def reset(self) -> None:
+        """Power-cycle the controller: the queue is gone, the platter stays."""
+        self._pending = []
+        self._last_sector_end = None
+        if self._clock is not None:
+            self._busy_until_ns = self._clock.now_ns

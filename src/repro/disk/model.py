@@ -1,0 +1,47 @@
+"""Disk timing model.
+
+Parameters default to a mid-1990s SCSI disk of the class attached to the
+paper's DEC 3000/600 workstations (a few MB/s of media bandwidth, ~10 ms
+random access).  The exact values are calibration constants — Table 2's
+*shape* (who wins and by what factor) comes from how many disk operations
+each file system issues and whether they block, not from these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.clock import NS_PER_MS, NS_PER_SEC
+
+
+@dataclass
+class DiskParameters:
+    """Timing parameters for :class:`~repro.disk.device.SimulatedDisk`."""
+
+    sector_size: int = 512
+    #: Average seek time for a random access.
+    seek_ms: float = 8.0
+    #: Average rotational latency (half a revolution at 5400 rpm).
+    rotational_ms: float = 5.5
+    #: Sustained media bandwidth.
+    bandwidth_bytes_per_sec: int = 5 * 1024 * 1024
+    #: Fixed controller/driver overhead per request.
+    overhead_ms: float = 0.3
+
+    def positioning_ns(self, *, sequential: bool) -> int:
+        """Head positioning cost: waived when the access continues the
+        previous one (the property journaling and LFS exploit)."""
+        if sequential:
+            return 0
+        return int((self.seek_ms + self.rotational_ms) * NS_PER_MS)
+
+    def transfer_ns(self, nbytes: int) -> int:
+        return int(nbytes * NS_PER_SEC / self.bandwidth_bytes_per_sec)
+
+    def service_ns(self, nbytes: int, *, sequential: bool) -> int:
+        """Total service time for one request of ``nbytes``."""
+        return (
+            int(self.overhead_ms * NS_PER_MS)
+            + self.positioning_ns(sequential=sequential)
+            + self.transfer_ns(nbytes)
+        )

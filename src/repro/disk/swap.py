@@ -1,0 +1,40 @@
+"""The swap partition: destination of the warm reboot's memory dump.
+
+Section 2.2: "Before the VM and file system are initialized, we dump all of
+physical memory to the swap partition."  The dump is performed by a healthy,
+booting kernel — unlike a crash dump taken by a dying one — so it always
+succeeds; this class provides the bounded disk window it lands in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.disk.device import SimulatedDisk
+
+
+class SwapPartition:
+    """A contiguous window of a disk reserved for swap / memory dumps."""
+
+    def __init__(self, disk: SimulatedDisk, start_sector: int, num_sectors: int) -> None:
+        if start_sector < 0 or start_sector + num_sectors > disk.num_sectors:
+            raise ConfigurationError("swap partition outside disk")
+        self.disk = disk
+        self.start_sector = start_sector
+        self.num_sectors = num_sectors
+        self.size_bytes = num_sectors * disk.sector_size
+
+    def dump_memory_image(self, image: bytes, *, sync: bool = True) -> None:
+        """Write a physical-memory image to swap (timed, like the real dump)."""
+        if len(image) > self.size_bytes:
+            raise ConfigurationError(
+                f"memory image ({len(image)} B) exceeds swap ({self.size_bytes} B)"
+            )
+        padded = image + b"\x00" * (-len(image) % self.disk.sector_size)
+        self.disk.write(self.start_sector, padded, sync=sync)
+
+    def read_memory_image(self, nbytes: int) -> bytes:
+        """Read back the dumped image (used by the user-level restore)."""
+        if nbytes > self.size_bytes:
+            raise ConfigurationError("requested more bytes than swap holds")
+        nsectors = -(-nbytes // self.disk.sector_size)
+        return self.disk.read(self.start_sector, nsectors)[:nbytes]

@@ -1,0 +1,120 @@
+"""Exception hierarchy shared across the whole simulation.
+
+The hierarchy mirrors the failure taxonomy of the Rio paper:
+
+* :class:`MachineCheck` — hardware-detected faults (illegal addresses).  The
+  paper observes that on a 64-bit machine "most errors are first detected by
+  issuing an illegal address"; in the simulation these surface as machine
+  checks raised by the MMU.
+* :class:`ProtectionTrap` — an attempted store to a write-protected file
+  cache page.  This is Rio's protection mechanism firing; the system is
+  halted, which the paper shows makes memory *safer* than a write-through
+  file cache (the trap stops corrupt state from propagating to disk).
+* :class:`KernelPanic` — software consistency (sanity) check failures, the
+  "multitude of consistency checks present in a production operating system"
+  credited for memory's surprising crash safety.
+* :class:`WatchdogTimeout` — the interpreter/scheduler watchdog; the paper
+  discards runs in which the system survives ten minutes after injection.
+
+All of these derive from :class:`SystemCrash`, the signal that the simulated
+machine has gone down and recovery (cold or warm reboot) must begin.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation component was configured inconsistently."""
+
+
+class SystemCrash(ReproError):
+    """The simulated operating system has crashed.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable description of what brought the system down.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or self.__class__.__name__)
+        self.reason = reason or self.__class__.__name__
+
+
+class MachineCheck(SystemCrash):
+    """Hardware-detected fault, e.g. a load/store to an illegal address."""
+
+
+class ProtectionTrap(SystemCrash):
+    """A store hit a write-protected page (Rio's protection mechanism).
+
+    Rio halts the system on such a trap rather than letting the wild store
+    proceed; the trap is therefore modelled as a crash, but one that is
+    recorded separately because each trap marks a corruption *prevented*.
+    """
+
+    def __init__(self, reason: str = "", address: int | None = None) -> None:
+        super().__init__(reason)
+        self.address = address
+
+
+class KernelPanic(SystemCrash):
+    """A kernel consistency (sanity) check failed."""
+
+
+class WatchdogTimeout(SystemCrash):
+    """The machine appeared hung (e.g. an injected fault created a loop)."""
+
+
+class IllegalInstruction(SystemCrash):
+    """The interpreter decoded an instruction word it cannot execute."""
+
+
+class CrashedMachineError(ReproError):
+    """An operation was attempted on a machine that has already crashed."""
+
+
+class FileSystemError(ReproError):
+    """Base class for POSIX-flavoured file system errors."""
+
+    errno_name = "EIO"
+
+
+class FileNotFound(FileSystemError):
+    errno_name = "ENOENT"
+
+
+class FileExists(FileSystemError):
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FileSystemError):
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FileSystemError):
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FileSystemError):
+    errno_name = "ENOTEMPTY"
+
+
+class NoSpace(FileSystemError):
+    errno_name = "ENOSPC"
+
+
+class InvalidArgument(FileSystemError):
+    errno_name = "EINVAL"
+
+
+class BadFileDescriptor(FileSystemError):
+    errno_name = "EBADF"
+
+
+class CrossDevice(FileSystemError):
+    errno_name = "EXDEV"

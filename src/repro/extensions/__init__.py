@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's core: systems it compares against or
+points toward.
+
+* :mod:`~repro.extensions.phoenix` — a Phoenix-style checkpointing file
+  cache [Gait90], the only prior system that kept permanent files
+  reliable in main memory.  Built here so the paper's two contrasts can
+  be *measured*: Phoenix makes writes permanent only at periodic
+  checkpoints, and keeps two copies of modified pages.
+"""
+
+from repro.extensions.phoenix import PhoenixFileCache
+
+__all__ = ["PhoenixFileCache"]

@@ -1,0 +1,49 @@
+"""Fault taxonomy: the 13 rows of Table 1."""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultType(enum.Enum):
+    """One per Table 1 row, in the paper's order."""
+
+    KERNEL_TEXT = "kernel text"
+    KERNEL_HEAP = "kernel heap"
+    KERNEL_STACK = "kernel stack"
+    DESTINATION_REG = "destination reg."
+    SOURCE_REG = "source reg."
+    DELETE_BRANCH = "delete branch"
+    DELETE_RANDOM_INST = "delete random inst."
+    INITIALIZATION = "initialization"
+    POINTER = "pointer"
+    ALLOCATION = "allocation"
+    COPY_OVERRUN = "copy overrun"
+    OFF_BY_ONE = "off-by-one"
+    SYNCHRONIZATION = "synchronization"
+
+
+#: The paper's three fault categories.
+FAULT_CATEGORIES = {
+    "bit flips": (
+        FaultType.KERNEL_TEXT,
+        FaultType.KERNEL_HEAP,
+        FaultType.KERNEL_STACK,
+    ),
+    "low-level software": (
+        FaultType.DESTINATION_REG,
+        FaultType.SOURCE_REG,
+        FaultType.DELETE_BRANCH,
+        FaultType.DELETE_RANDOM_INST,
+    ),
+    "high-level software": (
+        FaultType.INITIALIZATION,
+        FaultType.POINTER,
+        FaultType.ALLOCATION,
+        FaultType.COPY_OVERRUN,
+        FaultType.OFF_BY_ONE,
+        FaultType.SYNCHRONIZATION,
+    ),
+}
+
+ALL_FAULT_TYPES = tuple(FaultType)

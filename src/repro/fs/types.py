@@ -1,0 +1,54 @@
+"""Shared file system constants and small value types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: File system block size — one block per 8 KB file-cache page, as in the
+#: paper ("40 bytes of information are needed for each 8 KB file cache page").
+BLOCK_SIZE = 8192
+
+#: Disk sectors per file system block (512-byte sectors).
+SECTORS_PER_BLOCK = BLOCK_SIZE // 512
+
+#: Inode number of the root directory (inode 0 is reserved/invalid,
+#: inode 1 is the lost+found anchor by convention).
+ROOT_INO = 2
+
+#: Maximum file name length (fixed-size directory records).
+MAX_NAME = 27
+
+#: Direct block pointers per inode; one single-indirect block extends this.
+N_DIRECT = 12
+
+#: Block pointers held by one indirect block (u32 entries).
+PTRS_PER_INDIRECT = BLOCK_SIZE // 4
+
+#: Largest representable file.
+MAX_FILE_BLOCKS = N_DIRECT + PTRS_PER_INDIRECT
+MAX_FILE_SIZE = MAX_FILE_BLOCKS * BLOCK_SIZE
+
+
+class FileType(enum.IntEnum):
+    FREE = 0
+    REGULAR = 1
+    DIRECTORY = 2
+    SYMLINK = 3
+
+
+class Whence(enum.IntEnum):
+    SET = 0
+    CUR = 1
+    END = 2
+
+
+@dataclass(frozen=True)
+class FileId:
+    """Identifies a file the way the registry does: device + inode number."""
+
+    dev: int
+    ino: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.dev}:{self.ino}"

@@ -1,0 +1,34 @@
+"""Simulated hardware: clock, physical memory, MMU (with KSEG), bus, machine.
+
+This package substitutes for the DEC 3000/600 workstations used in the
+paper.  The pieces that matter for Rio are modelled bit-for-bit:
+
+* :class:`~repro.hw.memory.PhysicalMemory` holds real bytes and survives a
+  machine reset (DEC Alphas "allow a reset and boot without erasing memory",
+  section 5 — a property the warm reboot depends on and which most PCs of
+  the era lacked).
+* :class:`~repro.hw.mmu.MMU` implements page-table write protection plus the
+  Alpha's KSEG window: physical addresses that normally bypass the TLB, and
+  the ABOX control-register bit that forces even KSEG accesses through the
+  TLB (section 2.1) so file cache pages can be write-protected.
+* :class:`~repro.hw.machine.Machine` ties them together and implements the
+  crash / reset lifecycle used by the fault-injection campaign.
+"""
+
+from repro.hw.clock import Clock
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU, KSEG_BASE, PageTableEntry
+from repro.hw.bus import AccessContext, MemoryBus
+from repro.hw.machine import Machine, MachineConfig
+
+__all__ = [
+    "Clock",
+    "PhysicalMemory",
+    "MMU",
+    "KSEG_BASE",
+    "PageTableEntry",
+    "AccessContext",
+    "MemoryBus",
+    "Machine",
+    "MachineConfig",
+]

@@ -1,0 +1,129 @@
+"""The memory bus: every kernel load and store goes through here.
+
+The paper's central observation about why memory is vulnerable is that "any
+store instruction by any kernel procedure can easily change any data in
+memory simply by using the wrong address".  The bus is where that danger
+lives in the simulation: wild stores issued by fault-corrupted code travel
+exactly the same path as legitimate stores, so whether they corrupt the
+file cache, trap on a protected page, or machine-check on an illegal
+address is decided by the same mechanism in both cases.
+
+The bus also hosts the *code patching* hook: when a store checker is
+installed (see :mod:`repro.core.protection`), every store is pre-checked
+against the file cache's registered-writable ranges, modelling the
+sandboxing-style instrumentation used on CPUs that cannot force physical
+addresses through the TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import CrashedMachineError
+from repro.hw.mmu import MMU
+
+
+@dataclass
+class AccessContext:
+    """Identifies the kernel procedure performing an access.
+
+    ``procedure`` is used for trap attribution in the campaign logs;
+    ``is_io_path`` marks accesses made on behalf of an I/O request — such
+    accesses model *indirect* corruption (section 3.2) and are still
+    honoured by protection windows that the I/O procedure opened.
+    """
+
+    procedure: str = "kernel"
+    is_io_path: bool = False
+
+
+KERNEL_CONTEXT = AccessContext()
+
+StoreChecker = Callable[[int, int, AccessContext], None]
+
+
+@dataclass
+class BusStats:
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    checked_stores: int = 0
+    trace: list = field(default_factory=list)
+
+
+class MemoryBus:
+    """Mediates all kernel memory accesses through the MMU."""
+
+    def __init__(self, mmu: MMU) -> None:
+        self.mmu = mmu
+        self.memory = mmu.memory
+        self.stats = BusStats()
+        self.store_checker: Optional[StoreChecker] = None
+        self._crashed_check: Callable[[], bool] = lambda: False
+        self._tracing = False
+
+    def attach_crash_check(self, check: Callable[[], bool]) -> None:
+        """Install the machine's "am I crashed" predicate."""
+        self._crashed_check = check
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Record (kind, vaddr, length, procedure) tuples — for tests."""
+        self._tracing = enabled
+        if not enabled:
+            self.stats.trace.clear()
+
+    def _guard(self) -> None:
+        if self._crashed_check():
+            raise CrashedMachineError("memory access on crashed machine")
+
+    # -- loads ----------------------------------------------------------
+
+    def load(self, vaddr: int, length: int, ctx: AccessContext = KERNEL_CONTEXT) -> bytes:
+        """Kernel load through the MMU (may machine-check)."""
+        self._guard()
+        self.stats.loads += 1
+        self.stats.bytes_loaded += length
+        if self._tracing:
+            self.stats.trace.append(("load", vaddr, length, ctx.procedure))
+        out = bytearray()
+        for paddr, take in self.mmu.translate_range(vaddr, length, write=False):
+            out += self.memory.read(paddr, take)
+        return bytes(out)
+
+    def load_u64(self, vaddr: int, ctx: AccessContext = KERNEL_CONTEXT) -> int:
+        return int.from_bytes(self.load(vaddr, 8, ctx), "little")
+
+    def load_u8(self, vaddr: int, ctx: AccessContext = KERNEL_CONTEXT) -> int:
+        return self.load(vaddr, 1, ctx)[0]
+
+    # -- stores ---------------------------------------------------------
+
+    def store(
+        self,
+        vaddr: int,
+        data: bytes | bytearray | memoryview,
+        ctx: AccessContext = KERNEL_CONTEXT,
+    ) -> None:
+        """Kernel store through the MMU and (when installed) the
+        code-patching store checker; may trap or machine-check."""
+        self._guard()
+        data = bytes(data)
+        if self.store_checker is not None:
+            self.stats.checked_stores += 1
+            self.store_checker(vaddr, len(data), ctx)
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+        if self._tracing:
+            self.stats.trace.append(("store", vaddr, len(data), ctx.procedure))
+        pos = 0
+        for paddr, take in self.mmu.translate_range(vaddr, len(data), write=True):
+            self.memory.write(paddr, data[pos : pos + take])
+            pos += take
+
+    def store_u64(self, vaddr: int, value: int, ctx: AccessContext = KERNEL_CONTEXT) -> None:
+        self.store(vaddr, (value & (1 << 64) - 1).to_bytes(8, "little"), ctx)
+
+    def store_u8(self, vaddr: int, value: int, ctx: AccessContext = KERNEL_CONTEXT) -> None:
+        self.store(vaddr, bytes([value & 0xFF]), ctx)

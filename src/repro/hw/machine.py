@@ -1,0 +1,133 @@
+"""The machine: memory + MMU + bus + clock + disks, and the crash lifecycle.
+
+The fault-injection campaign needs a precise model of what happens to each
+component across a crash and reboot:
+
+* **Physical memory** keeps its contents across a reset (Alpha semantics,
+  section 5).  ``reset(preserve_memory=False)`` models the PC behaviour
+  that made warm reboot impossible for the Harp designers.
+* **The MMU** is rebuilt from scratch on reset — mappings and protection
+  state are CPU state, not memory state.
+* **Disks** keep their contents; a sector being written at the instant of
+  the crash is torn (disk semantics live in :mod:`repro.disk`).
+* **The clock** keeps running: reboot takes (virtual) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CrashedMachineError
+from repro.hw.bus import MemoryBus
+from repro.hw.clock import Clock, NS_PER_SEC
+from repro.hw.memory import DEFAULT_PAGE_SIZE, PhysicalMemory
+from repro.hw.mmu import MMU
+
+
+@dataclass
+class MachineConfig:
+    """Sizing knobs for the simulated workstation.
+
+    The paper's machines had 128 MB with an 80 MB UBC; the defaults here
+    are scaled down so campaigns run quickly, and every experiment accepts
+    a config to scale back up.
+    """
+
+    memory_bytes: int = 16 * 1024 * 1024
+    page_size: int = DEFAULT_PAGE_SIZE
+    #: Virtual time a (re)boot consumes before the system is usable.
+    boot_time_ns: int = 30 * NS_PER_SEC
+
+
+@dataclass
+class CrashRecord:
+    """What the campaign needs to know about one crash."""
+
+    time_ns: int
+    reason: str
+    kind: str  # "machine_check" | "protection_trap" | "panic" | "watchdog" | "forced"
+
+
+class Machine:
+    """A simulated workstation with an explicit crash / reset lifecycle.
+
+    ``memory`` may be an existing :class:`PhysicalMemory` — section 5 asks
+    that "if the system board fails, it should be possible to move the
+    memory board to a different system without losing power or data";
+    passing a transplanted board models exactly that.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        clock: Clock | None = None,
+        memory: PhysicalMemory | None = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.clock = clock or Clock()
+        if memory is not None and (
+            memory.size != self.config.memory_bytes
+            or memory.page_size != self.config.page_size
+        ):
+            raise ValueError("transplanted memory board does not fit this machine")
+        self.memory = memory or PhysicalMemory(self.config.memory_bytes, self.config.page_size)
+        self.disks: dict[str, object] = {}
+        self.crashed = False
+        self.crash_log: list[CrashRecord] = []
+        self.mmu = MMU(self.memory)
+        self.bus = MemoryBus(self.mmu)
+        self.bus.attach_crash_check(lambda: self.crashed)
+        self.reset_count = 0
+
+    # -- device management ------------------------------------------------
+
+    def attach_disk(self, name: str, disk) -> None:
+        """Attach a disk (see :mod:`repro.disk`) under a device name."""
+        self.disks[name] = disk
+        disk.attach(self.clock)
+
+    def disk(self, name: str):
+        return self.disks[name]
+
+    # -- crash / reset lifecycle -------------------------------------------
+
+    def crash(self, reason: str, kind: str = "panic") -> None:
+        """Bring the machine down.
+
+        After this call all bus accesses raise
+        :class:`~repro.errors.CrashedMachineError`; memory contents are
+        frozen exactly as they were, which is precisely the state the warm
+        reboot will recover.  In-flight disk writes are torn.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_log.append(CrashRecord(self.clock.now_ns, reason, kind))
+        for disk in self.disks.values():
+            disk.crash()
+
+    def reset(self, preserve_memory: bool = True) -> None:
+        """Reset the machine so a new kernel can boot.
+
+        ``preserve_memory=True`` is the Alpha behaviour that warm reboot
+        requires; ``False`` models PCs that scrub RAM during reset.
+        """
+        if preserve_memory and not self.crashed and self.reset_count == 0:
+            # A first boot on a fresh machine is fine; subsequent resets
+            # normally follow a crash but an administrative reboot is legal.
+            pass
+        self.crashed = False
+        self.reset_count += 1
+        if not preserve_memory:
+            self.memory.erase()
+        # CPU state (the MMU, including the ABOX bit) does not survive reset.
+        self.mmu = MMU(self.memory)
+        self.bus = MemoryBus(self.mmu)
+        self.bus.attach_crash_check(lambda: self.crashed)
+        for disk in self.disks.values():
+            disk.reset()
+        self.clock.consume(self.config.boot_time_ns)
+
+    def require_up(self) -> None:
+        if self.crashed:
+            raise CrashedMachineError("machine is down")

@@ -1,0 +1,126 @@
+"""Physical memory: real bytes, organised in pages, surviving resets.
+
+The reliability experiments in the paper are only meaningful because the
+file cache is made of actual mutable state that faults can genuinely
+corrupt and that the warm reboot genuinely recovers.  This module therefore
+stores real bytes (lazily-allocated ``bytearray`` pages) rather than any
+symbolic abstraction; checksums, crash dumps and the registry all operate
+on these bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineCheck
+from repro.util.checksum import fletcher32
+
+DEFAULT_PAGE_SIZE = 8192  # the paper's 8 KB file-cache page
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory of ``size`` bytes.
+
+    Pages are allocated on first touch and initialised to zero.  The object
+    deliberately has no notion of protection — that is the MMU's job; code
+    with a raw reference to :class:`PhysicalMemory` models hardware-level
+    access (e.g. the crash-dump path and corruption detectors).
+    """
+
+    def __init__(self, size: int, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if size <= 0 or page_size <= 0 or size % page_size:
+            raise ValueError("memory size must be a positive multiple of page size")
+        self.size = size
+        self.page_size = page_size
+        self.num_pages = size // page_size
+        self._pages: dict[int, bytearray] = {}
+
+    # -- page helpers -------------------------------------------------
+
+    def page(self, pfn: int) -> bytearray:
+        """Return the backing store for physical frame ``pfn``."""
+        if not 0 <= pfn < self.num_pages:
+            raise MachineCheck(f"physical frame {pfn} out of range")
+        store = self._pages.get(pfn)
+        if store is None:
+            store = bytearray(self.page_size)
+            self._pages[pfn] = store
+        return store
+
+    def page_checksum(self, pfn: int) -> int:
+        return fletcher32(self.page(pfn))
+
+    # -- byte-granular access ------------------------------------------
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("negative length")
+        if addr < 0 or addr + length > self.size:
+            raise MachineCheck(
+                f"physical access [{addr:#x}, {addr + length:#x}) outside memory"
+            )
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Hardware-level read of physical bytes (no MMU involved)."""
+        self._check_range(addr, length)
+        out = bytearray()
+        while length > 0:
+            pfn, off = divmod(addr, self.page_size)
+            take = min(length, self.page_size - off)
+            out += self.page(pfn)[off : off + take]
+            addr += take
+            length -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Hardware-level write of physical bytes (no MMU involved)."""
+        data = bytes(data)
+        self._check_range(addr, len(data))
+        pos = 0
+        while pos < len(data):
+            pfn, off = divmod(addr + pos, self.page_size)
+            take = min(len(data) - pos, self.page_size - off)
+            self.page(pfn)[off : off + take] = data[pos : pos + take]
+            pos += take
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & (1 << 64) - 1).to_bytes(8, "little"))
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def fill(self, addr: int, length: int, value: int = 0) -> None:
+        self._check_range(addr, length)
+        self.write(addr, bytes([value & 0xFF]) * length)
+
+    # -- whole-image operations ----------------------------------------
+
+    def dump_image(self) -> bytes:
+        """Return the full memory image (used for the crash dump to swap)."""
+        return self.read(0, self.size)
+
+    def load_image(self, image: bytes) -> None:
+        if len(image) != self.size:
+            raise ValueError("image size mismatch")
+        self.write(0, image)
+
+    def erase(self) -> None:
+        """Zero all of memory — models a PC-style reset that loses contents.
+
+        Section 5 notes that the PCs the authors tested erase memory on
+        reboot, which makes warm reboot impossible; this method lets the
+        test suite demonstrate that failure mode.
+        """
+        self._pages.clear()
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit — the lowest-level corruption primitive."""
+        self._check_range(addr, 1)
+        if not 0 <= bit < 8:
+            raise ValueError("bit index out of range")
+        pfn, off = divmod(addr, self.page_size)
+        self.page(pfn)[off] ^= 1 << bit

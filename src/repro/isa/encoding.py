@@ -1,0 +1,196 @@
+"""Instruction encoding for the mini-ISA.
+
+Instructions are 32-bit words in two formats, loosely following the Alpha:
+
+* **Memory / branch format**: ``opcode[31:26] ra[25:21] rb[20:16] imm[15:0]``
+  — loads, stores, ``LDA`` (add-immediate), conditional branches (with a
+  signed word displacement relative to the next instruction) and ``PANIC``
+  (whose immediate is a consistency-check error code).
+* **Operate format**: ``opcode[31:26] ra[25:21] rb[20:16] zero[15:5] rc[4:0]``
+  — three-register ALU operations.  Bits 15..5 are ignored on decode, as a
+  real implementation would treat them as a function-code field; this
+  matters for bit-flip faults, which may set them arbitrarily.
+
+Register 31 reads as zero and ignores writes, as on the Alpha.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.IntEnum):
+    """Opcodes.  Values are stable — they are baked into kernel text images."""
+
+    HALT = 0x00
+    NOP = 0x01
+    # Memory format
+    LDA = 0x08  # ra <- rb + sext(imm)
+    LDB = 0x0A  # ra <- zext(mem8[rb + sext(imm)])
+    STB = 0x0E  # mem8[rb + sext(imm)] <- ra & 0xff
+    LDQ = 0x28  # ra <- mem64[rb + sext(imm)]
+    STQ = 0x2C  # mem64[rb + sext(imm)] <- ra
+    # Operate format
+    ADDQ = 0x10
+    SUBQ = 0x11
+    MULQ = 0x12
+    AND = 0x13
+    BIS = 0x14  # bitwise or
+    XOR = 0x15
+    SLL = 0x16
+    SRL = 0x17
+    CMPEQ = 0x18
+    CMPLT = 0x19  # signed
+    CMPLE = 0x1A  # signed
+    CMPULT = 0x1B
+    CMPULE = 0x1C
+    # Branch format (displacement in words, relative to next instruction)
+    BR = 0x30  # ra <- return address; pc += disp
+    BEQ = 0x31
+    BNE = 0x32
+    BLT = 0x33
+    BGE = 0x34
+    BGT = 0x35
+    BLE = 0x36
+    # Jumps (byte-address targets in registers)
+    JSR = 0x3A  # ra <- return address; pc <- rb
+    RET = 0x3B  # pc <- rb
+    PANIC = 0x3F  # kernel consistency check failed; imm = error code
+
+
+MEMORY_FORMAT_OPS = frozenset({Op.LDA, Op.LDB, Op.STB, Op.LDQ, Op.STQ})
+BRANCH_OPS = frozenset({Op.BR, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BGT, Op.BLE})
+OPERATE_OPS = frozenset(
+    {
+        Op.ADDQ,
+        Op.SUBQ,
+        Op.MULQ,
+        Op.AND,
+        Op.BIS,
+        Op.XOR,
+        Op.SLL,
+        Op.SRL,
+        Op.CMPEQ,
+        Op.CMPLT,
+        Op.CMPLE,
+        Op.CMPULT,
+        Op.CMPULE,
+    }
+)
+STORE_OPS = frozenset({Op.STB, Op.STQ})
+LOAD_OPS = frozenset({Op.LDB, Op.LDQ})
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+#: Conventional register names (Alpha calling convention, simplified).
+REG_NAMES = {
+    0: "v0",
+    **{i: f"t{i - 1}" for i in range(1, 9)},
+    **{i: f"s{i - 9}" for i in range(9, 15)},
+    15: "fp",
+    **{i: f"a{i - 16}" for i in range(16, 22)},
+    **{i: f"t{i - 14}" for i in range(22, 26)},
+    26: "ra",
+    27: "pv",
+    28: "at",
+    29: "gp",
+    30: "sp",
+    31: "zero",
+}
+REG_NUMBERS = {name: num for num, name in REG_NAMES.items()}
+REG_NUMBERS.update({f"r{i}": i for i in range(32)})
+
+MASK64 = (1 << 64) - 1
+
+
+def sext16(value: int) -> int:
+    """Sign-extend a 16-bit value to a Python int."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def to_signed64(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``opcode`` may be an :class:`Op` member or a raw int for illegal
+    opcodes (which the interpreter turns into an
+    :class:`~repro.errors.IllegalInstruction` crash when executed).
+    """
+
+    opcode: int
+    ra: int
+    rb: int
+    rc: int = 0
+    imm: int = 0
+
+    @property
+    def op(self) -> Op | None:
+        try:
+            return Op(self.opcode)
+        except ValueError:
+            return None
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    def writes_register(self) -> int | None:
+        """Return the register this instruction writes, or ``None``."""
+        op = self.op
+        if op in OPERATE_OPS:
+            return self.rc if self.rc != 31 else None
+        if op in (Op.LDA, Op.LDB, Op.LDQ):
+            return self.ra if self.ra != 31 else None
+        if op in (Op.BR, Op.JSR):
+            return self.ra if self.ra != 31 else None
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.op
+        name = op.name.lower() if op else f"op{self.opcode:#x}"
+        ra, rb, rc = (REG_NAMES.get(r, f"r{r}") for r in (self.ra, self.rb, self.rc))
+        if op in MEMORY_FORMAT_OPS:
+            return f"{name} {ra}, {sext16(self.imm)}({rb})"
+        if op in BRANCH_OPS:
+            return f"{name} {ra}, {sext16(self.imm):+d}"
+        if op in OPERATE_OPS:
+            return f"{name} {ra}, {rb}, {rc}"
+        if op in (Op.JSR, Op.RET):
+            return f"{name} {ra}, ({rb})"
+        if op is Op.PANIC:
+            return f"panic #{self.imm}"
+        return name
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    word = (inst.opcode & 0x3F) << 26 | (inst.ra & 0x1F) << 21 | (inst.rb & 0x1F) << 16
+    op = inst.op
+    if op in OPERATE_OPS:
+        return word | (inst.rc & 0x1F)
+    return word | (inst.imm & 0xFFFF)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word.  Never raises — illegal opcodes are preserved."""
+    opcode = (word >> 26) & 0x3F
+    ra = (word >> 21) & 0x1F
+    rb = (word >> 16) & 0x1F
+    if opcode in _VALID_OPCODES and Op(opcode) in OPERATE_OPS:
+        return Instruction(opcode=opcode, ra=ra, rb=rb, rc=word & 0x1F)
+    return Instruction(opcode=opcode, ra=ra, rb=rb, imm=word & 0xFFFF)

@@ -1,0 +1,219 @@
+"""The instruction interpreter.
+
+Executes routines from the kernel text image through the memory bus, which
+means every load, store and instruction fetch is subject to MMU translation
+and protection — wild stores from fault-corrupted code trap or corrupt in
+exactly the way hardware would arrange.
+
+Crash surfaces, matching section 3.3's observation that production kernels
+stop quickly after a fault:
+
+* fetch or data access to an illegal address → :class:`MachineCheck`;
+* store to a protected page → :class:`ProtectionTrap` (Rio's mechanism);
+* undecodable opcode or a ``HALT`` outside the sentinel →
+  :class:`IllegalInstruction` / :class:`KernelPanic`;
+* a ``PANIC`` instruction (assembly-level consistency check) →
+  :class:`KernelPanic` with its error code;
+* exceeding the step budget (e.g. a deleted loop exit) →
+  :class:`WatchdogTimeout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IllegalInstruction, KernelPanic, MachineCheck, WatchdogTimeout
+from repro.hw.bus import AccessContext, KERNEL_CONTEXT, MemoryBus
+from repro.isa.encoding import (
+    MASK64,
+    Op,
+    decode,
+    sext16,
+    to_signed64,
+)
+from repro.isa.text import KernelText, WORD_BYTES
+
+#: Error-code → message table for PANIC instructions; gives the campaign the
+#: "distinct kernel consistency error messages" flavour of the paper.
+PANIC_MESSAGES = {
+    21: "cache_copy: bad buffer header magic",
+    22: "cache_copy: write beyond buffer end",
+    31: "sched_tick: runqueue corrupted",
+    33: "vnode_scan: vnode chain corrupted",
+    34: "vnode_scan: refcount overflow",
+    41: "lock: lock order violation",
+    99: "unexpected halt in kernel text",
+}
+
+
+@dataclass
+class InterpreterLimits:
+    """Execution guards.  ``max_steps`` is the software watchdog."""
+
+    max_steps: int = 500_000
+
+
+@dataclass
+class CallResult:
+    value: int
+    steps: int
+    stores: int
+    interpreted: bool
+
+
+class Interpreter:
+    """Runs kernel routines, natively when pristine, interpreted otherwise."""
+
+    def __init__(
+        self,
+        bus: MemoryBus,
+        text: KernelText,
+        limits: InterpreterLimits | None = None,
+    ) -> None:
+        self.bus = bus
+        self.text = text
+        self.limits = limits or InterpreterLimits()
+        #: When True, even pristine routines are interpreted (used by tests
+        #: and the code-patching overhead bench).
+        self.force_interpret = False
+
+    def call(
+        self,
+        name: str,
+        args: list[int] | tuple[int, ...] = (),
+        ctx: AccessContext = KERNEL_CONTEXT,
+        sp: int = 0,
+        max_steps: int | None = None,
+    ) -> CallResult:
+        """Invoke routine ``name`` with up to six integer arguments."""
+        routine = self.text.routines[name]
+        args = list(args)
+        if len(args) > 6:
+            raise ValueError("at most 6 register arguments supported")
+        if routine.pristine and routine.native is not None and not self.force_interpret:
+            value = routine.native(self.bus, args, ctx)
+            steps = routine.steps_fn(args) if routine.steps_fn else 0
+            stores = routine.stores_fn(args) if routine.stores_fn else 0
+            return CallResult(value=value & MASK64, steps=steps, stores=stores, interpreted=False)
+        return self._interpret(name, args, ctx, sp, max_steps)
+
+    # -- the interpreter proper ------------------------------------------
+
+    def _interpret(
+        self,
+        name: str,
+        args: list[int],
+        ctx: AccessContext,
+        sp: int,
+        max_steps: int | None,
+    ) -> CallResult:
+        regs = [0] * 32
+        for i, arg in enumerate(args):
+            regs[16 + i] = arg & MASK64
+        regs[30] = sp & MASK64
+        sentinel = self.text.sentinel_vaddr
+        regs[26] = sentinel
+        pc = self.text.entry_vaddr(name)
+        budget = max_steps if max_steps is not None else self.limits.max_steps
+        steps = 0
+        stores = 0
+
+        def set_reg(index: int, value: int) -> None:
+            if index != 31:
+                regs[index] = value & MASK64
+
+        while True:
+            if steps >= budget:
+                raise WatchdogTimeout(f"watchdog: {name} exceeded {budget} steps")
+            steps += 1
+            if pc % WORD_BYTES:
+                raise MachineCheck(f"unaligned instruction fetch at {pc:#x}")
+            word = int.from_bytes(self.bus.load(pc, WORD_BYTES, ctx), "little")
+            inst = decode(word)
+            op = inst.op
+            next_pc = pc + WORD_BYTES
+
+            if op is None:
+                raise IllegalInstruction(f"illegal opcode {inst.opcode:#x} at pc {pc:#x}")
+
+            if op is Op.HALT:
+                if pc == sentinel:
+                    return CallResult(value=regs[0], steps=steps, stores=stores, interpreted=True)
+                raise KernelPanic(PANIC_MESSAGES[99])
+
+            if op is Op.NOP:
+                pass
+            elif op is Op.PANIC:
+                code = inst.imm
+                raise KernelPanic(PANIC_MESSAGES.get(code, f"kernel consistency check #{code}"))
+            elif op is Op.LDA:
+                set_reg(inst.ra, regs[inst.rb] + sext16(inst.imm))
+            elif op is Op.LDB:
+                addr = (regs[inst.rb] + sext16(inst.imm)) & MASK64
+                set_reg(inst.ra, self.bus.load(addr, 1, ctx)[0])
+            elif op is Op.LDQ:
+                addr = (regs[inst.rb] + sext16(inst.imm)) & MASK64
+                set_reg(inst.ra, int.from_bytes(self.bus.load(addr, 8, ctx), "little"))
+            elif op is Op.STB:
+                addr = (regs[inst.rb] + sext16(inst.imm)) & MASK64
+                self.bus.store(addr, bytes([regs[inst.ra] & 0xFF]), ctx)
+                stores += 1
+            elif op is Op.STQ:
+                addr = (regs[inst.rb] + sext16(inst.imm)) & MASK64
+                self.bus.store(addr, regs[inst.ra].to_bytes(8, "little"), ctx)
+                stores += 1
+            elif op is Op.ADDQ:
+                set_reg(inst.rc, regs[inst.ra] + regs[inst.rb])
+            elif op is Op.SUBQ:
+                set_reg(inst.rc, regs[inst.ra] - regs[inst.rb])
+            elif op is Op.MULQ:
+                set_reg(inst.rc, regs[inst.ra] * regs[inst.rb])
+            elif op is Op.AND:
+                set_reg(inst.rc, regs[inst.ra] & regs[inst.rb])
+            elif op is Op.BIS:
+                set_reg(inst.rc, regs[inst.ra] | regs[inst.rb])
+            elif op is Op.XOR:
+                set_reg(inst.rc, regs[inst.ra] ^ regs[inst.rb])
+            elif op is Op.SLL:
+                set_reg(inst.rc, regs[inst.ra] << (regs[inst.rb] & 63))
+            elif op is Op.SRL:
+                set_reg(inst.rc, regs[inst.ra] >> (regs[inst.rb] & 63))
+            elif op is Op.CMPEQ:
+                set_reg(inst.rc, int(regs[inst.ra] == regs[inst.rb]))
+            elif op is Op.CMPLT:
+                set_reg(inst.rc, int(to_signed64(regs[inst.ra]) < to_signed64(regs[inst.rb])))
+            elif op is Op.CMPLE:
+                set_reg(inst.rc, int(to_signed64(regs[inst.ra]) <= to_signed64(regs[inst.rb])))
+            elif op is Op.CMPULT:
+                set_reg(inst.rc, int(regs[inst.ra] < regs[inst.rb]))
+            elif op is Op.CMPULE:
+                set_reg(inst.rc, int(regs[inst.ra] <= regs[inst.rb]))
+            elif op is Op.BR:
+                set_reg(inst.ra, next_pc)
+                pc = next_pc + sext16(inst.imm) * WORD_BYTES
+                continue
+            elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BGT, Op.BLE):
+                value = regs[inst.ra]
+                signed = to_signed64(value)
+                taken = {
+                    Op.BEQ: value == 0,
+                    Op.BNE: value != 0,
+                    Op.BLT: signed < 0,
+                    Op.BGE: signed >= 0,
+                    Op.BGT: signed > 0,
+                    Op.BLE: signed <= 0,
+                }[op]
+                if taken:
+                    pc = next_pc + sext16(inst.imm) * WORD_BYTES
+                    continue
+            elif op is Op.JSR:
+                target = regs[inst.rb]
+                set_reg(inst.ra, next_pc)
+                pc = target
+                continue
+            elif op is Op.RET:
+                pc = regs[inst.rb]
+                continue
+            else:  # pragma: no cover - all ops handled above
+                raise IllegalInstruction(f"unhandled opcode {op!r}")
+            pc = next_pc

@@ -1,0 +1,98 @@
+"""Parameter sweeps around Table 2.
+
+The paper reports single points; these sweeps show where the conclusions
+live in parameter space:
+
+* **Update-daemon interval** — the delayed/no-order system's time and its
+  data-loss window both scale with the flush interval; Rio is a flat
+  line at zero-loss.
+* **Disk bandwidth** — faster disks narrow every disk-bound system's gap
+  to Rio; Rio (and MFS) barely move, because they do not wait for the
+  disk at all.  Extrapolating this sweep is the NVM/persistent-memory
+  research lineage the paper seeded.
+* **Working-set size** — Rio's write-avoidance grows with the amount of
+  data that would otherwise need reliability writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.disk import DiskParameters
+from repro.perf.runner import run_workload
+from repro.system import SystemSpec
+from repro.workloads.cp_rm import CpRmParams
+
+
+def sweep_update_interval(
+    intervals_s: tuple = (0.25, 0.5, 1.0, 2.0, 4.0),
+    systems: tuple = ("ufs_delayed", "rio_prot"),
+    cp_rm_params: CpRmParams | None = None,
+) -> dict:
+    """cp+rm time as a function of the update daemon's flush interval.
+
+    Returns {(system, interval): seconds}."""
+    results = {}
+    for interval in intervals_s:
+        for system in systems:
+            result = run_workload(
+                system,
+                "cp_rm",
+                cp_rm_params=cp_rm_params,
+                update_interval_s=interval,
+            )
+            results[(system, interval)] = result.seconds
+    return results
+
+
+def sweep_disk_bandwidth(
+    bandwidths_mb_s: tuple = (2, 5, 10, 20, 40),
+    systems: tuple = ("wt_write", "ufs", "rio_prot"),
+    cp_rm_params: CpRmParams | None = None,
+) -> dict:
+    """cp+rm time as a function of disk media bandwidth.
+
+    Returns {(system, bandwidth): seconds}."""
+    results = {}
+    for bandwidth in bandwidths_mb_s:
+        base = SystemSpec(
+            fs_blocks=2048,
+            disk=DiskParameters(bandwidth_bytes_per_sec=bandwidth * 1024 * 1024),
+        )
+        for system in systems:
+            result = run_workload(
+                system, "cp_rm", base_spec=base, cp_rm_params=cp_rm_params
+            )
+            results[(system, bandwidth)] = result.seconds
+    return results
+
+
+def sweep_working_set(
+    scales: tuple = (1, 2, 4),
+    systems: tuple = ("wt_write", "rio_prot"),
+) -> dict:
+    """cp+rm time as the copied tree grows.
+
+    Returns {(system, scale): seconds}."""
+    results = {}
+    for scale in scales:
+        params = CpRmParams(dirs=4 * scale, files_per_dir=8, mean_file_bytes=16 * 1024)
+        base = SystemSpec(fs_blocks=max(2048, 512 * scale * 2))
+        for system in systems:
+            result = run_workload(
+                system, "cp_rm", base_spec=base, cp_rm_params=params
+            )
+            results[(system, scale)] = result.seconds
+    return results
+
+
+def format_sweep(results: dict, x_label: str) -> str:
+    systems = sorted({system for system, _ in results})
+    xs = sorted({x for _, x in results})
+    lines = [f"{x_label:>12s}  " + "".join(f"{s:>14s}" for s in systems)]
+    for x in xs:
+        row = f"{x:>12g}  "
+        for system in systems:
+            row += f"{results[(system, x)]:>13.2f}s"
+        lines.append(row)
+    return "\n".join(lines)

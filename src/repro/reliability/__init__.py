@@ -1,0 +1,47 @@
+"""Reliability experiments: the crash-test campaign behind Table 1.
+
+Each run boots a system (disk-based write-through, Rio without
+protection, or Rio with protection), drives memTest plus concurrent
+Andrew instances, arms one fault type, lets the corrupted kernel run
+until it crashes (or discards the run after the time budget, as the paper
+does), recovers per the system's design, and then hunts for corruption
+three ways — exactly the paper's apparatus:
+
+1. memTest replay comparison (direct + indirect corruption);
+2. registry checksums (direct corruption, Rio systems only);
+3. the two static copies of files no workload modifies.
+"""
+
+from repro.reliability.campaign import (
+    CrashTestConfig,
+    CrashTestResult,
+    SYSTEM_NAMES,
+    run_crash_test,
+    system_spec_for,
+)
+from repro.reliability.report import (
+    CampaignCell,
+    Table1,
+    format_table1,
+    run_table1_campaign,
+)
+from repro.reliability.propagation import (
+    PropagationSummary,
+    format_propagation,
+    summarize_propagation,
+)
+
+__all__ = [
+    "CrashTestConfig",
+    "CrashTestResult",
+    "SYSTEM_NAMES",
+    "run_crash_test",
+    "system_spec_for",
+    "CampaignCell",
+    "Table1",
+    "format_table1",
+    "run_table1_campaign",
+    "PropagationSummary",
+    "format_propagation",
+    "summarize_propagation",
+]

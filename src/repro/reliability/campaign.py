@@ -1,0 +1,224 @@
+"""One crash test: boot, load, inject, crash, recover, detect.
+
+The three systems of Table 1:
+
+* ``disk`` — the default Digital Unix kernel setup: UFS policy (sync
+  metadata, async data) with memTest calling fsync after every write to
+  get write-through semantics.  No registry, no warm reboot; recovery is
+  fsck.  "Only memTest is used to detect corruption on disk."
+* ``rio_noprot`` — reliability writes off, registry + warm reboot, no
+  protection.
+* ``rio_prot`` — the same plus the VM/KSEG protection mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import RioConfig
+from repro.errors import FileSystemError, SystemCrash
+from repro.faults import FaultInjector, FaultType
+from repro.faults.injector import FaultParams
+from repro.hw.clock import NS_PER_SEC
+from repro.system import SystemSpec, build_system
+from repro.util.prng import DeterministicRandom, pattern_bytes
+from repro.workloads.andrew import AndrewBenchmark, AndrewParams
+from repro.workloads.memtest import (
+    MemTest,
+    MemTestModel,
+    MemTestParams,
+    verify_against_model,
+)
+
+SYSTEM_NAMES = ("disk", "rio_noprot", "rio_prot")
+
+_STATIC_KEY = 0x57A71C
+_STATIC_BYTES = 32 * 1024
+
+
+def system_spec_for(name: str, **overrides) -> SystemSpec:
+    """The SystemSpec for one of Table 1's three systems."""
+    if name == "disk":
+        return SystemSpec(fs_type="ufs", policy="ufs", rio=None, **overrides)
+    if name == "rio_noprot":
+        return SystemSpec(
+            fs_type="ufs", policy="rio", rio=RioConfig.without_protection(), **overrides
+        )
+    if name == "rio_prot":
+        return SystemSpec(
+            fs_type="ufs", policy="rio", rio=RioConfig.with_protection(), **overrides
+        )
+    raise ValueError(f"unknown system {name!r}; know {SYSTEM_NAMES}")
+
+
+@dataclass
+class CrashTestConfig:
+    system: str = "rio_prot"
+    fault_type: FaultType = FaultType.KERNEL_TEXT
+    seed: int = 1
+    #: Operation budget after injection before the run is discarded
+    #: (stands in for the paper's ten-minute wall-clock budget).
+    max_ops_after_injection: int = 1500
+    #: Simulated-time budget after injection (the paper's ten minutes).
+    sim_budget_s: float = 600.0
+    #: Concurrent Andrew instances (the paper ran four).
+    andrew_copies: int = 2
+    inject_after_ops: tuple = (30, 120)
+    memtest: MemTestParams = field(default_factory=MemTestParams)
+    faults: FaultParams = field(default_factory=FaultParams)
+
+
+@dataclass
+class CrashTestResult:
+    config: CrashTestConfig
+    crashed: bool = False
+    discarded: bool = False
+    crash_kind: str = ""
+    crash_reason: str = ""
+    ops_run: int = 0
+    injected_at_op: int = -1
+    memtest_progress: int = 0
+    #: Corruption evidence, by detector.
+    memtest_problems: list = field(default_factory=list)
+    checksum_mismatches: int = 0
+    static_copy_mismatch: bool = False
+    recovery_failed: bool = False
+    #: True when the crash *was* the protection trap — a prevented
+    #: corruption (the paper recorded eight of these).
+    protection_trap: bool = False
+    fsck_fixes: int = 0
+    #: The recovered System (populated after recovery; tests inspect it).
+    _system: object = None
+
+    @property
+    def corrupted(self) -> bool:
+        return bool(
+            self.memtest_problems
+            or self.checksum_mismatches
+            or self.static_copy_mismatch
+            or self.recovery_failed
+        )
+
+
+def _setup_static_files(vfs) -> None:
+    """Two identical copies of a file nothing modifies (section 3.2's
+    final corruption check)."""
+    vfs.mkdir("/static")
+    payload = pattern_bytes(_STATIC_KEY, 0, _STATIC_BYTES)
+    for name in ("copy1", "copy2"):
+        fd = vfs.open(f"/static/{name}", create=True)
+        vfs.write(fd, payload)
+        # The paper's static copies pre-exist on stable storage; make
+        # them durable before any fault is armed.
+        vfs.fsync(fd)
+        vfs.close(fd)
+
+
+def _check_static_files(fs) -> bool:
+    """Returns True when the static copies are damaged or differ."""
+    expected = pattern_bytes(_STATIC_KEY, 0, _STATIC_BYTES)
+    try:
+        contents = [
+            fs.read(fs.namei(f"/static/{name}"), 0, _STATIC_BYTES)
+            for name in ("copy1", "copy2")
+        ]
+    except FileSystemError:
+        return True
+    return contents[0] != contents[1] or contents[0] != expected
+
+
+def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
+    """Execute one fault-injection run end to end."""
+    result = CrashTestResult(config=config)
+    rng = DeterministicRandom(config.seed ^ 0xC0FFEE)
+    spec = system_spec_for(config.system)
+    system = build_system(spec)
+    vfs, kernel = system.vfs, system.kernel
+
+    memtest = MemTest(
+        vfs,
+        config.seed,
+        MemTestParams(
+            **{
+                **config.memtest.__dict__,
+                "fsync_every_write": config.system == "disk",
+            }
+        ),
+    )
+    memtest.setup()
+    _setup_static_files(vfs)
+    andrews = [
+        AndrewBenchmark(
+            vfs,
+            kernel,
+            AndrewParams(root=f"/andrew{i}", seed=config.seed * 31 + i, dirs=2, files_per_dir=4),
+        )
+        for i in range(config.andrew_copies)
+    ]
+    streams = [memtest.ops()] + [a.ops() for a in andrews]
+
+    injector = FaultInjector(kernel, config.seed, config.faults)
+    inject_at = rng.randint(*config.inject_after_ops)
+    injected = False
+    deadline_ns: Optional[int] = None
+    op_index = 0
+
+    while True:
+        if injected:
+            if (
+                op_index - inject_at > config.max_ops_after_injection
+                or system.clock.now_ns > deadline_ns
+            ):
+                result.discarded = True  # survived the budget: discard
+                break
+        if op_index == inject_at:
+            injector.inject(config.fault_type)
+            injected = True
+            result.injected_at_op = inject_at
+            deadline_ns = system.clock.now_ns + int(config.sim_budget_s * NS_PER_SEC)
+        stream = streams[op_index % len(streams)]
+        thunk = next(stream)
+        try:
+            thunk()
+        except SystemCrash as crash:
+            result.crashed = True
+            result.crash_reason = str(crash)
+            result.crash_kind = (
+                system.machine.crash_log[-1].kind if system.machine.crash_log else "panic"
+            )
+            result.protection_trap = result.crash_kind == "protection_trap"
+            break
+        except FileSystemError:
+            pass  # a failed op (e.g. transient ENOSPC) is not a crash
+        op_index += 1
+    result.ops_run = op_index
+    result.memtest_progress = memtest.progress
+    if not result.crashed:
+        return result
+
+    # -- recovery ----------------------------------------------------------
+    try:
+        reboot = system.reboot()
+    except Exception:
+        result.recovery_failed = True
+        return result
+    if reboot.fsck is not None:
+        result.fsck_fixes = reboot.fsck.fix_count
+        if reboot.fsck.unrecoverable:
+            result.recovery_failed = True
+            return result
+    if reboot.warm is not None:
+        result.checksum_mismatches = len(reboot.warm.checksum_mismatches)
+
+    # -- detection ------------------------------------------------------------
+    model, in_flight = MemTestModel.replay(
+        config.seed, memtest.progress, memtest.params
+    )
+    try:
+        result.memtest_problems = verify_against_model(system.fs, model, in_flight)
+    except FileSystemError:
+        result.recovery_failed = True
+    result.static_copy_mismatch = _check_static_files(system.fs)
+    result._system = system  # kept for white-box inspection in tests
+    return result

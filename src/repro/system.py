@@ -1,0 +1,260 @@
+"""System assembly: build a whole simulated workstation in one call.
+
+A :class:`System` owns the machine, the kernel, the disks (root + swap),
+the file system, the VFS and (optionally) the Rio file cache, and knows
+how to take the stack through the full crash lifecycle:
+
+    boot -> run workload -> crash -> reboot (warm or cold) -> recovery
+
+``System.reboot`` performs the paper's recovery sequence in order: memory
+dump + registry-driven metadata restore (Rio), journal replay (AdvFS),
+fsck, kernel boot, mount, and the user-level UBC restore (Rio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core import RioConfig, RioFileCache
+from repro.core.warm_reboot import (
+    WarmRebootReport,
+    dump_and_recover_metadata,
+    restore_ubc,
+)
+from repro.disk import DiskParameters, SimulatedDisk, SwapPartition
+from repro.errors import ConfigurationError
+from repro.fs.advfs import AdvFS, advfs_recover
+from repro.fs.fsck import FsckReport, fsck
+from repro.fs.mfs import MemoryFileSystem
+from repro.fs.types import SECTORS_PER_BLOCK
+from repro.fs.ufs import UFS, UFSParams
+from repro.fs.writeback import make_policy
+from repro.hw import Machine, MachineConfig
+from repro.kernel import Kernel, KernelConfig
+from repro.kernel.syscalls import VFS
+
+ROOT_DEV = 0
+
+
+@dataclass
+class SystemSpec:
+    """Everything needed to build a system under test."""
+
+    #: "ufs" | "advfs" | "mfs"
+    fs_type: str = "ufs"
+    #: Write policy name (see repro.fs.writeback); ignored for mfs.
+    policy: str = "ufs"
+    #: Rio configuration, or None for a plain disk-based system.
+    rio: Optional[RioConfig] = None
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    disk: DiskParameters = field(default_factory=DiskParameters)
+    #: Root file system size in 8 KB blocks.
+    fs_blocks: int = 1024
+    inode_blocks: int = 8
+    journal_blocks: int = 32
+    #: Mount an additional memory file system at this path prefix
+    #: (Table 2's MFS row: source tree on disk, benchmark target in RAM).
+    mfs_mount: Optional[str] = None
+    #: Build a Phoenix-style checkpointing cache instead of Rio (the
+    #: related-work comparison of section 6); implies the rio policy.
+    phoenix: bool = False
+
+    def describe(self) -> str:
+        rio = "none"
+        if self.rio is not None:
+            rio = f"rio({self.rio.protection.value})"
+        return f"{self.fs_type}/{self.policy}/{rio}"
+
+
+@dataclass
+class RebootReport:
+    """What happened during one reboot."""
+
+    warm: Optional[WarmRebootReport] = None
+    fsck: Optional[FsckReport] = None
+    journal_records_applied: int = 0
+    cold: bool = False
+
+
+class System:
+    """A fully assembled simulated workstation."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+        self.machine = Machine(replace(spec.machine))
+        self.disk: Optional[SimulatedDisk] = None
+        self.swap: Optional[SwapPartition] = None
+        if spec.fs_type != "mfs":
+            self.disk = SimulatedDisk(
+                "rz0",
+                spec.fs_blocks * SECTORS_PER_BLOCK,
+                replace(spec.disk),
+            )
+            self.machine.attach_disk("rz0", self.disk)
+            swap_sectors = (
+                spec.machine.memory_bytes // 512 + 2 * SECTORS_PER_BLOCK
+            )
+            swap_disk = SimulatedDisk("rz1", swap_sectors, replace(spec.disk))
+            self.machine.attach_disk("rz1", swap_disk)
+            self.swap = SwapPartition(swap_disk, 0, swap_sectors)
+            UFS.mkfs(
+                self.disk,
+                UFSParams(
+                    total_blocks=spec.fs_blocks,
+                    inode_blocks=spec.inode_blocks,
+                    journal_blocks=spec.journal_blocks if spec.fs_type == "advfs" else 0,
+                ),
+            )
+        self.kernel: Optional[Kernel] = None
+        self.rio: Optional[RioFileCache] = None
+        self.fs = None
+        self.vfs: Optional[VFS] = None
+        self._boot_stack(first=True)
+
+    # -- boot ------------------------------------------------------------
+
+    def _boot_stack(self, *, first: bool) -> None:
+        """Boot a kernel over the (possibly crash-surviving) machine."""
+        spec = self.spec
+        self.kernel = Kernel(self.machine, replace(spec.kernel))
+        guard = None
+        self.phoenix = None
+        if spec.phoenix:
+            from repro.extensions.phoenix import PhoenixFileCache
+
+            self.phoenix = PhoenixFileCache(self.kernel)
+            self.rio = None
+            guard = self.phoenix.guard
+        elif spec.rio is not None:
+            self.rio = RioFileCache(self.kernel, spec.rio)
+            guard = self.rio.guard
+        else:
+            self.rio = None
+        self.kernel.init_caches(guard)
+        if spec.fs_type == "mfs":
+            self.fs = MemoryFileSystem(self.kernel, ROOT_DEV)
+        else:
+            self.kernel.attach_block_device(ROOT_DEV, self.disk)
+            policy = make_policy(spec.policy)
+            if spec.fs_type == "advfs":
+                self.fs = AdvFS(self.kernel, ROOT_DEV, policy)
+            elif spec.fs_type == "ufs":
+                self.fs = UFS(self.kernel, ROOT_DEV, policy)
+            else:
+                raise ConfigurationError(f"unknown fs type {spec.fs_type!r}")
+        self.fs.mount()
+        mounts = {}
+        if spec.mfs_mount and spec.fs_type != "mfs":
+            mfs = MemoryFileSystem(self.kernel, dev=ROOT_DEV + 1)
+            mfs.mount()
+            mounts[spec.mfs_mount] = mfs
+        self.vfs = VFS(self.kernel, self.fs, mounts)
+
+    # -- crash and reboot ----------------------------------------------------
+
+    def crash(self, reason: str = "forced crash", kind: str = "forced") -> None:
+        """Force the machine down (the fault injector usually gets there
+        first via the kernel's go_down path)."""
+        self.machine.crash(reason, kind=kind)
+
+    def reboot(self, *, preserve_memory: bool = True) -> RebootReport:
+        """Reboot after a crash, running the configured recovery chain."""
+        report = RebootReport(cold=not preserve_memory)
+        self.machine.reset(preserve_memory=preserve_memory)
+
+        image = entries = None
+        warm_enabled = (
+            (self.spec.phoenix or (self.spec.rio is not None and self.spec.rio.warm_reboot))
+            and preserve_memory
+            and self.swap is not None
+        )
+        if warm_enabled:
+            # Step 1 (before any kernel state is rebuilt): dump memory to
+            # swap and restore metadata to disk from the registry.
+            image, entries, warm = dump_and_recover_metadata(
+                self.machine, self.swap, {ROOT_DEV: self.disk}
+            )
+            report.warm = warm
+
+        if self.spec.fs_type == "advfs":
+            report.journal_records_applied = advfs_recover(self.disk)
+        if self.disk is not None:
+            report.fsck = fsck(self.disk)
+
+        self._boot_stack(first=False)
+
+        if warm_enabled and report.warm is not None and report.warm.registry_found:
+            # Step 2: the user-level restore of dirty UBC pages.
+            restore_ubc(self.fs, image, entries, report.warm)
+        return report
+
+    # -- conveniences ------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.machine.clock
+
+    def drain_disks(self) -> None:
+        for disk in self.machine.disks.values():
+            disk.drain()
+
+    def enable_reliability_writes(self) -> None:
+        """Administrative toggle (the paper's footnote 1): "a way for a
+        system administrator to easily enable and disable reliability disk
+        writes for machine maintenance or extended power outages."
+
+        Flushes everything to disk now and switches to a delayed-write
+        policy so data keeps reaching the disk, making it safe to power
+        the machine off (memory contents lost)."""
+        from repro.fs.writeback import make_policy
+
+        if self.disk is None:
+            return
+        self.fs.flush_data(sync=True)
+        self.fs.flush_metadata(sync=True)
+        self.drain_disks()
+        self.fs.policy = make_policy("ufs_delayed")
+        self.kernel.reliability_writes_off = False
+        self.kernel.config.panic_syncs_dirty = True
+
+    def disable_reliability_writes(self) -> None:
+        """Back to normal Rio operation: memory is the stable store."""
+        from repro.fs.writeback import make_policy
+
+        if self.disk is None or self.spec.rio is None:
+            return
+        self.fs.policy = make_policy("rio")
+        self.kernel.reliability_writes_off = True
+        self.kernel.config.panic_syncs_dirty = False
+
+    def drop_caches(self) -> None:
+        """Administrative flush-and-invalidate of both caches (no-op for
+        MFS).  Used by benchmarks to start a timed phase cold, the way the
+        paper's runs started with the source tree on disk only."""
+        if self.disk is None:
+            return
+        kernel = self.kernel
+        charged = kernel.config.charge_time
+        kernel.config.charge_time = False
+        kernel.klib.charge_time = False
+        try:
+            self.fs.flush_data(sync=True)
+            self.fs.flush_metadata(sync=True)
+            self.drain_disks()
+            for cache in (kernel.ubc, kernel.buffer_cache):
+                for page in list(cache.pages.values()):
+                    cache.drop(page)
+        finally:
+            kernel.config.charge_time = charged
+            kernel.klib.charge_time = charged
+
+
+def build_system(spec: SystemSpec | None = None, **overrides) -> System:
+    """Build a system from a spec (or keyword overrides of the default)."""
+    if spec is None:
+        spec = SystemSpec(**overrides)
+    elif overrides:
+        spec = replace(spec, **overrides)
+    return System(spec)

@@ -1,0 +1,6 @@
+"""Small shared utilities: checksums, deterministic PRNGs, byte packing."""
+
+from repro.util.checksum import fletcher32
+from repro.util.prng import DeterministicRandom, pattern_bytes
+
+__all__ = ["fletcher32", "DeterministicRandom", "pattern_bytes"]

@@ -1,0 +1,113 @@
+"""Deterministic pseudo-random generators.
+
+The paper's memTest workload is driven by "a pseudo-random number generator"
+so that, after a crash, the workload can be *replayed* to the exact point of
+the crash and the correct contents of every file reconstructed.  That
+property demands a PRNG that is fully deterministic given a seed and whose
+state can be advanced op by op; we implement a small, self-contained 64-bit
+SplitMix64/xorshift combination rather than relying on ``random.Random``
+internals staying stable across Python versions.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    """Advance a SplitMix64 state; return ``(new_state, output)``."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, z ^ (z >> 31)
+
+
+class DeterministicRandom:
+    """A seeded, replayable 64-bit PRNG with a tiny ``random``-like API."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+        # Warm up so that small seeds do not produce correlated streams.
+        for _ in range(2):
+            self._state, _ = _splitmix64(self._state)
+
+    def next_u64(self) -> int:
+        self._state, out = _splitmix64(self._state)
+        return out
+
+    def randrange(self, stop: int) -> int:
+        """Return an integer in ``[0, stop)``; ``stop`` must be positive."""
+        if stop <= 0:
+            raise ValueError("randrange stop must be positive")
+        return self.next_u64() % stop
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError("randint requires low <= high")
+        return low + self.randrange(high - low + 1)
+
+    def random(self) -> float:
+        """Return a float in ``[0, 1)``."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def choice(self, seq):
+        if not seq:
+            raise ValueError("choice from empty sequence")
+        return seq[self.randrange(len(seq))]
+
+    def weighted_choice(self, items, weights):
+        """Pick from ``items`` with the given relative ``weights``."""
+        if len(items) != len(weights) or not items:
+            raise ValueError("items and weights must be equal-length, non-empty")
+        total = float(sum(weights))
+        point = self.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]
+
+    def shuffle(self, seq: list) -> None:
+        """Fisher-Yates shuffle in place."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < n:
+            out += self.next_u64().to_bytes(8, "little")
+        return bytes(out[:n])
+
+    def fork(self, tag: int) -> "DeterministicRandom":
+        """Return an independent child stream keyed by ``tag``."""
+        return DeterministicRandom(self._state ^ (tag * 0x9E3779B97F4A7C15) ^ 0xA5A5A5A5)
+
+
+def pattern_bytes(file_key: int, offset: int, length: int) -> bytes:
+    """Deterministic file contents used by memTest.
+
+    Every byte of every file is a pure function of ``(file_key, offset)``,
+    so the expected contents of any byte range can be recomputed at any time
+    without storing the data — exactly the property memTest needs to check a
+    restored file cache image against ground truth.
+    """
+    if length <= 0:
+        return b""
+    out = bytearray(length)
+    # Generate 8 bytes at a time from a hash of (file_key, block index).
+    start_block = offset // 8
+    end_block = (offset + length - 1) // 8
+    pos = 0
+    for block in range(start_block, end_block + 1):
+        _, word = _splitmix64((file_key * 0x100000001B3 + block) & _MASK64)
+        chunk = word.to_bytes(8, "little")
+        lo = max(offset, block * 8)
+        hi = min(offset + length, block * 8 + 8)
+        out[pos : pos + (hi - lo)] = chunk[lo - block * 8 : hi - block * 8]
+        pos += hi - lo
+    return bytes(out)

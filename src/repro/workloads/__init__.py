@@ -1,0 +1,43 @@
+"""Workloads: memTest, Andrew, cp+rm, Sdet.
+
+* :mod:`~repro.workloads.memtest` — the paper's synthetic
+  corruption-detection workload: a PRNG-driven stream of file operations
+  whose expected state can be *replayed* to the exact crash point and
+  compared against what a reboot recovered (section 3.2).
+* :mod:`~repro.workloads.andrew` — the Andrew benchmark [Howard88]:
+  copy a source hierarchy, examine it, compile it (CPU-dominated).
+* :mod:`~repro.workloads.cp_rm` — recursively copy then remove a source
+  tree (I/O-dominated; the paper uses the 40 MB Digital Unix source).
+* :mod:`~repro.workloads.sdet` — SPEC SDM Sdet: concurrent multi-user
+  software-development scripts.
+
+Workloads expose ``ops()`` generators of thunks so the reliability
+campaign can interleave several of them (memTest plus four Andrews, as in
+the paper) and inject faults between operations.
+"""
+
+from repro.workloads.memtest import MemTest, MemTestModel, MemTestParams, verify_against_model
+from repro.workloads.andrew import AndrewBenchmark, AndrewParams
+from repro.workloads.cp_rm import CpRmWorkload, CpRmParams
+from repro.workloads.sdet import SdetWorkload, SdetParams
+from repro.workloads.debit_credit import (
+    DebitCreditParams,
+    DebitCreditResult,
+    DebitCreditWorkload,
+)
+
+__all__ = [
+    "MemTest",
+    "MemTestModel",
+    "MemTestParams",
+    "verify_against_model",
+    "AndrewBenchmark",
+    "AndrewParams",
+    "CpRmWorkload",
+    "CpRmParams",
+    "SdetWorkload",
+    "SdetParams",
+    "DebitCreditParams",
+    "DebitCreditResult",
+    "DebitCreditWorkload",
+]

@@ -1,0 +1,48 @@
+"""Shared fixtures: a minimal machine with kernel text loaded and mapped."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.hw import Machine, MachineConfig
+from repro.isa import Interpreter
+from repro.isa.routines import build_kernel_text
+
+
+@pytest.fixture
+def env():
+    """A small machine with kernel text, a heap and a stack mapped.
+
+    Layout (8 KB pages, identity virtual->physical mapping):
+      page 1..   kernel text (read-only)
+      page 32..39 heap
+      page 48..49 stack
+    """
+    machine = Machine(MachineConfig(memory_bytes=2 * 1024 * 1024, boot_time_ns=0))
+    text = build_kernel_text()
+    page = machine.memory.page_size
+
+    text_pages = -(-text.size_bytes // page)
+    text.load(machine.memory, base_paddr=1 * page, base_vaddr=1 * page)
+    for i in range(text_pages):
+        machine.mmu.map(1 + i, 1 + i, writable=False)
+    for i in range(8):
+        machine.mmu.map(32 + i, 32 + i)
+    for i in range(2):
+        machine.mmu.map(48 + i, 48 + i)
+
+    interp = Interpreter(machine.bus, text)
+    return SimpleNamespace(
+        machine=machine,
+        bus=machine.bus,
+        mmu=machine.mmu,
+        memory=machine.memory,
+        text=text,
+        interp=interp,
+        page=page,
+        heap=32 * page,
+        heap_pages=range(32, 40),
+        stack_top=50 * page - 64,
+    )

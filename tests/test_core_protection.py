@@ -1,0 +1,186 @@
+"""Tests for the protection manager and the Rio guard."""
+
+import pytest
+
+from repro.core import ProtectionMode, RioConfig, RioFileCache
+from repro.core.registry import FLAG_CHANGING
+from repro.errors import ProtectionTrap
+from repro.fs.cache import IO_CONTEXT
+from repro.fs.types import BLOCK_SIZE, FileId
+from repro.hw import Machine, MachineConfig
+from repro.kernel import Kernel, KernelConfig
+from repro.util.checksum import fletcher32
+
+
+def make_rio_kernel(mode: ProtectionMode, **rio_kw):
+    machine = Machine(MachineConfig(memory_bytes=8 * 1024 * 1024, boot_time_ns=0))
+    kernel = Kernel(machine, KernelConfig(charge_time=False))
+    rio = RioFileCache(kernel, RioConfig(protection=mode, **rio_kw))
+    kernel.init_caches(rio.guard)
+    return kernel, rio
+
+
+class TestVmKsegProtection:
+    def test_abox_bit_engaged(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        assert kernel.mmu.kseg_through_tlb
+
+    def test_ubc_page_protected_against_wild_store(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 1, 0), file_id=FileId(0, 1))
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"wild store")
+
+    def test_buffer_cache_page_protected(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.buffer_cache.get(("meta", 0, 1))
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"wild store")
+
+    def test_legitimate_write_succeeds_through_window(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 2, 0), file_id=FileId(0, 2))
+        kernel.ubc.write_into(page, 0, b"authorized", IO_CONTEXT)
+        assert kernel.ubc.read(page, 0, 10) == b"authorized"
+        # And the page is protected again afterwards.
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"wild")
+
+    def test_registry_frames_protected(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG)
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(rio.registry.base_vaddr, b"\x00" * 8)
+
+    def test_detached_page_frame_writable_again(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 3, 0))
+        vaddr = page.vaddr
+        kernel.ubc.drop(page)
+        kernel.bus.store(vaddr, b"frame recycled")  # no trap
+
+    def test_trap_counted(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 4, 0))
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"x")
+        assert kernel.mmu.stat_protection_traps == 1
+
+
+class TestCodePatching:
+    def test_store_checker_installed(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        assert kernel.bus.store_checker is not None
+        assert kernel.klib.store_overhead_steps > 0
+        assert not kernel.mmu.kseg_through_tlb  # the CPU cannot do it
+
+    def test_wild_store_trapped_by_check(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        page = kernel.ubc.get(("data", 0, 1, 0))
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"wild")
+
+    def test_window_allows_writes(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        page = kernel.ubc.get(("data", 0, 2, 0))
+        kernel.ubc.write_into(page, 0, b"fine", IO_CONTEXT)
+        assert kernel.ubc.read(page, 0, 4) == b"fine"
+
+    def test_meta_page_covered(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        page = kernel.buffer_cache.get(("meta", 0, 1))
+        with pytest.raises(ProtectionTrap):
+            kernel.bus.store(page.vaddr, b"wild")
+
+
+class TestNoProtection:
+    def test_wild_stores_corrupt_silently(self):
+        kernel, _ = make_rio_kernel(ProtectionMode.NONE)
+        page = kernel.ubc.get(("data", 0, 1, 0))
+        kernel.bus.store(page.vaddr, b"corruption")  # no trap
+        assert kernel.ubc.read(page, 0, 10) == b"corruption"
+
+    def test_checksum_detects_the_corruption(self):
+        """Without protection, the detection apparatus still notices."""
+        kernel, rio = make_rio_kernel(ProtectionMode.NONE)
+        page = kernel.ubc.get(("data", 0, 1, 0), file_id=FileId(0, 1))
+        kernel.ubc.write_into(page, 0, b"legit data", IO_CONTEXT)
+        kernel.bus.store(page.vaddr, b"corruption")
+        entry = rio.registry.read_entry(page.registry_slot)
+        actual = fletcher32(kernel.memory.read(page.pfn * BLOCK_SIZE, BLOCK_SIZE))
+        assert actual != entry.checksum
+
+
+class TestGuardBookkeeping:
+    def test_checksum_updated_on_write(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 1, 0), file_id=FileId(0, 1))
+        kernel.ubc.write_into(page, 0, b"payload", IO_CONTEXT)
+        entry = rio.registry.read_entry(page.registry_slot)
+        expected = fletcher32(kernel.memory.read(page.pfn * BLOCK_SIZE, BLOCK_SIZE))
+        assert entry.checksum == expected
+        assert not entry.changing
+
+    def test_dirty_flag_tracked(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 1, 0), file_id=FileId(0, 1))
+        kernel.ubc.write_into(page, 0, b"dirty", IO_CONTEXT)
+        assert rio.registry.read_entry(page.registry_slot).dirty
+        kernel.ubc.set_dirty(page, False)
+        assert not rio.registry.read_entry(page.registry_slot).dirty
+
+    def test_placement_tracked(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(
+            ("data", 0, 8, 3), file_id=FileId(0, 8), file_offset=3 * BLOCK_SIZE
+        )
+        kernel.ubc.set_placement(page, disk_block=55)
+        entry = rio.registry.read_entry(page.registry_slot)
+        assert entry.ino == 8
+        assert entry.file_offset == 3 * BLOCK_SIZE
+        assert entry.disk_block == 55
+
+    def test_crash_mid_write_leaves_changing_flag(self):
+        """If the system dies inside a write window, the entry must still
+        say CHANGING — that block cannot be classified by checksum."""
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG, shadow_metadata=False)
+        page = kernel.ubc.get(("data", 0, 1, 0), file_id=FileId(0, 1))
+        rio.guard.begin_write(page)  # ... and the machine dies here
+        entry = rio.registry.read_entry(page.registry_slot)
+        assert entry.flags & FLAG_CHANGING
+
+    def test_shadow_preserves_preimage_during_meta_write(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG, shadow_metadata=True)
+        cache = kernel.buffer_cache
+        page = cache.get(("meta", 0, 1))
+        cache.write_into(page, 0, b"version one....", IO_CONTEXT)
+        entry_before = rio.registry.read_entry(page.registry_slot)
+        # Begin a second update; mid-write, the registry must point at a
+        # shadow holding the *pre-image*.
+        rio.guard.begin_write(page)
+        kernel.bus.store(page.vaddr, b"version two....", IO_CONTEXT)
+        entry_mid = rio.registry.read_entry(page.registry_slot)
+        assert entry_mid.phys_addr != page.pfn * BLOCK_SIZE
+        shadow_bytes = kernel.memory.read(entry_mid.phys_addr, 15)
+        assert shadow_bytes == b"version one...."
+        assert fletcher32(
+            kernel.memory.read(entry_mid.phys_addr, BLOCK_SIZE)
+        ) == entry_before.checksum
+        # Finish: the registry points back at the updated original.
+        rio.guard.end_write(page)
+        entry_after = rio.registry.read_entry(page.registry_slot)
+        assert entry_after.phys_addr == page.pfn * BLOCK_SIZE
+
+    def test_shadow_frame_released_after_write(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG, shadow_metadata=True)
+        cache = kernel.buffer_cache
+        page = cache.get(("meta", 0, 2))
+        free_before = kernel.frames.free_count
+        cache.write_into(page, 0, b"update", IO_CONTEXT)
+        assert kernel.frames.free_count == free_before
+
+    def test_detach_frees_registry_slot(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.VM_KSEG)
+        page = kernel.ubc.get(("data", 0, 1, 0))
+        slot = page.registry_slot
+        kernel.ubc.drop(page)
+        assert not rio.registry.read_entry(slot).valid

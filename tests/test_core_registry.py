@@ -1,0 +1,147 @@
+"""Tests for the Rio registry: format, entries, post-crash discovery."""
+
+import pytest
+
+from repro.core.registry import (
+    ENTRY_SIZE,
+    FLAG_CHANGING,
+    FLAG_DIRTY,
+    FLAG_META,
+    FLAG_VALID,
+    Registry,
+    RegistryEntry,
+    capacity_for,
+    find_registry_in_image,
+    read_entries_from_image,
+)
+from repro.errors import NoSpace
+from repro.hw import Machine, MachineConfig
+
+PAGE = 8192
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(memory_bytes=32 * PAGE, boot_time_ns=0))
+
+
+@pytest.fixture
+def registry(machine):
+    # Registry in the top two frames, as the kernel would place it.
+    base = (machine.memory.num_pages - 2) * PAGE
+    reg = Registry(machine.bus, base, 2 * PAGE)
+    reg.format()
+    return reg
+
+
+class TestEntryCodec:
+    def test_roundtrip(self):
+        entry = RegistryEntry(
+            slot=3,
+            phys_addr=0x4000,
+            dev=1,
+            ino=42,
+            file_offset=81920,
+            size=8192,
+            flags=FLAG_VALID | FLAG_DIRTY,
+            disk_block=77,
+            checksum=0xABCD1234,
+        )
+        parsed = RegistryEntry.from_bytes(3, entry.to_bytes())
+        assert parsed == entry
+
+    def test_entry_size_is_48_bytes(self):
+        """The paper says ~40 bytes per 8 KB page; ours is 48."""
+        assert ENTRY_SIZE == 48
+        assert len(RegistryEntry(slot=0).to_bytes()) == 48
+
+    def test_none_disk_block_roundtrip(self):
+        entry = RegistryEntry(slot=0, flags=FLAG_VALID, disk_block=None)
+        assert RegistryEntry.from_bytes(0, entry.to_bytes()).disk_block is None
+
+    def test_flag_properties(self):
+        entry = RegistryEntry(slot=0, flags=FLAG_VALID | FLAG_META | FLAG_CHANGING)
+        assert entry.valid and entry.is_metadata and entry.changing
+        assert not entry.dirty
+
+
+class TestLiveRegistry:
+    def test_capacity(self, registry):
+        assert registry.capacity == capacity_for(2 * PAGE)
+        assert registry.capacity > 300
+
+    def test_alloc_write_read(self, registry):
+        slot = registry.alloc_slot()
+        registry.write_entry(
+            RegistryEntry(slot=slot, phys_addr=0x2000, dev=0, ino=5, flags=FLAG_VALID)
+        )
+        entry = registry.read_entry(slot)
+        assert entry.valid and entry.ino == 5
+
+    def test_free_slot_invalidates(self, registry):
+        slot = registry.alloc_slot()
+        registry.write_entry(RegistryEntry(slot=slot, flags=FLAG_VALID))
+        registry.free_slot(slot)
+        assert not registry.read_entry(slot).valid
+
+    def test_update_flags(self, registry):
+        slot = registry.alloc_slot()
+        registry.write_entry(RegistryEntry(slot=slot, flags=FLAG_VALID))
+        registry.update_flags(slot, set_flags=FLAG_DIRTY | FLAG_CHANGING)
+        registry.update_flags(slot, clear_flags=FLAG_CHANGING)
+        entry = registry.read_entry(slot)
+        assert entry.dirty and not entry.changing and entry.valid
+
+    def test_update_fields(self, registry):
+        slot = registry.alloc_slot()
+        registry.write_entry(RegistryEntry(slot=slot, flags=FLAG_VALID))
+        registry.update_fields(slot, ino=9, disk_block=123)
+        entry = registry.read_entry(slot)
+        assert entry.ino == 9 and entry.disk_block == 123
+
+    def test_exhaustion(self, registry):
+        for _ in range(registry.capacity):
+            registry.alloc_slot()
+        with pytest.raises(NoSpace):
+            registry.alloc_slot()
+
+    def test_valid_entries_listing(self, registry):
+        slots = [registry.alloc_slot() for _ in range(3)]
+        for slot in slots[:2]:
+            registry.write_entry(RegistryEntry(slot=slot, flags=FLAG_VALID))
+        assert {e.slot for e in registry.valid_entries()} == set(slots[:2])
+
+
+class TestPostCrashDiscovery:
+    def test_find_in_image(self, machine, registry):
+        image = machine.memory.dump_image()
+        found = find_registry_in_image(image, PAGE)
+        assert found is not None
+        base, capacity = found
+        assert base == registry.base_paddr
+        assert capacity == registry.capacity
+
+    def test_entries_from_image(self, machine, registry):
+        slot = registry.alloc_slot()
+        registry.write_entry(
+            RegistryEntry(slot=slot, phys_addr=0x6000, dev=0, ino=7, flags=FLAG_VALID)
+        )
+        image = machine.memory.dump_image()
+        entries = read_entries_from_image(image, registry.base_paddr, registry.capacity)
+        assert len(entries) == 1
+        assert entries[0].ino == 7
+
+    def test_no_registry_in_scrubbed_memory(self, machine, registry):
+        machine.memory.erase()  # PC-style reset
+        image = machine.memory.dump_image()
+        assert find_registry_in_image(image, PAGE) is None
+
+    def test_survives_machine_reset(self, machine, registry):
+        """The registry is memory contents, so an Alpha-style reset keeps it."""
+        slot = registry.alloc_slot()
+        registry.write_entry(RegistryEntry(slot=slot, flags=FLAG_VALID, ino=3))
+        machine.crash("boom")
+        machine.reset(preserve_memory=True)
+        image = machine.memory.dump_image()
+        entries = read_entries_from_image(image, registry.base_paddr, registry.capacity)
+        assert entries[0].ino == 3

@@ -1,0 +1,30 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+(The two campaign-style examples — fault_injection and performance_table —
+are exercised by the benchmarks instead; they take minutes.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "inspect_rio", "transaction_processing", "file_server", "crash_survival"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()  # produced some narrative
+    assert "Traceback" not in out

@@ -1,0 +1,133 @@
+"""Tests for on-disk structure serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs.ondisk import (
+    CorruptStructure,
+    DIRENT_SIZE,
+    DirEntry,
+    INODE_SIZE,
+    Inode,
+    Superblock,
+    pack_dirents,
+    parse_dirents,
+)
+from repro.fs.types import BLOCK_SIZE, FileType, N_DIRECT
+
+
+def sample_superblock(**overrides):
+    fields = dict(
+        total_blocks=1024,
+        bitmap_start=1,
+        bitmap_blocks=1,
+        inode_start=2,
+        inode_blocks=8,
+        data_start=10,
+    )
+    fields.update(overrides)
+    return Superblock(**fields)
+
+
+class TestSuperblock:
+    def test_roundtrip(self):
+        sb = sample_superblock(journal_start=10, journal_blocks=4, clean=False, mount_count=3)
+        parsed = Superblock.from_bytes(sb.to_bytes())
+        assert parsed == sb
+
+    def test_block_sized(self):
+        assert len(sample_superblock().to_bytes()) == BLOCK_SIZE
+
+    def test_bad_magic_raises(self):
+        data = bytearray(sample_superblock().to_bytes())
+        data[0] ^= 0xFF
+        with pytest.raises(CorruptStructure):
+            Superblock.from_bytes(bytes(data))
+
+    def test_bad_geometry_raises(self):
+        data = bytearray(sample_superblock().to_bytes())
+        # Zero out data_start (field 7, offset 24).
+        data[24:28] = b"\x00\x00\x00\x00"
+        with pytest.raises(CorruptStructure):
+            Superblock.from_bytes(bytes(data))
+
+    def test_num_inodes(self):
+        assert sample_superblock().num_inodes == 8 * (BLOCK_SIZE // INODE_SIZE)
+
+
+class TestInode:
+    def test_roundtrip(self):
+        inode = Inode(
+            ino=7,
+            ftype=FileType.REGULAR,
+            nlink=2,
+            size=123456,
+            mtime_ns=999,
+            direct=[3, 0, 5] + [0] * (N_DIRECT - 3),
+            indirect=77,
+            generation=4,
+        )
+        parsed = Inode.from_bytes(7, inode.to_bytes())
+        assert parsed == inode
+
+    def test_fixed_size(self):
+        assert len(Inode(ino=1).to_bytes()) == INODE_SIZE
+
+    def test_bad_magic_strict_raises(self):
+        data = bytearray(Inode(ino=1, ftype=FileType.REGULAR).to_bytes())
+        data[0] ^= 0x55
+        with pytest.raises(CorruptStructure):
+            Inode.from_bytes(1, bytes(data), strict=True)
+
+    def test_bad_magic_lenient_returns_free(self):
+        data = bytearray(Inode(ino=1, ftype=FileType.REGULAR).to_bytes())
+        data[0] ^= 0x55
+        inode = Inode.from_bytes(1, bytes(data), strict=False)
+        assert not inode.is_allocated
+
+    def test_bad_type_strict_raises(self):
+        data = bytearray(Inode(ino=1, ftype=FileType.REGULAR).to_bytes())
+        data[2] = 0x7F
+        with pytest.raises(CorruptStructure):
+            Inode.from_bytes(1, bytes(data), strict=True)
+
+    @given(st.integers(0, 2**63), st.integers(0, 65535))
+    def test_size_nlink_roundtrip(self, size, nlink):
+        inode = Inode(ino=1, ftype=FileType.REGULAR, nlink=nlink, size=size)
+        parsed = Inode.from_bytes(1, inode.to_bytes())
+        assert parsed.size == size and parsed.nlink == nlink
+
+
+class TestDirEntry:
+    def test_roundtrip(self):
+        entry = DirEntry(42, "hello.txt")
+        assert DirEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_fixed_size(self):
+        assert len(DirEntry(1, "x").to_bytes()) == DIRENT_SIZE
+
+    def test_empty_slot_is_none(self):
+        assert DirEntry.from_bytes(b"\x00" * DIRENT_SIZE) is None
+
+    def test_name_too_long_rejected(self):
+        with pytest.raises(Exception):
+            DirEntry(1, "x" * 28).to_bytes()
+
+    def test_max_name_ok(self):
+        entry = DirEntry(1, "y" * 27)
+        assert DirEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_garbled_name_length_is_none(self):
+        data = bytearray(DirEntry(5, "ok").to_bytes())
+        data[4] = 200  # impossible name length
+        assert DirEntry.from_bytes(bytes(data)) is None
+
+    def test_pack_and_parse(self):
+        entries = [DirEntry(2, "."), DirEntry(2, ".."), DirEntry(9, "file")]
+        data = pack_dirents(entries, 1)
+        assert len(data) == BLOCK_SIZE
+        assert parse_dirents(data) == entries
+
+    def test_parse_skips_holes(self):
+        data = DirEntry(1, "a").to_bytes() + b"\x00" * DIRENT_SIZE + DirEntry(2, "b").to_bytes()
+        assert [e.name for e in parse_dirents(data)] == ["a", "b"]

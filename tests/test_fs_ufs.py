@@ -1,0 +1,255 @@
+"""Tests for UFS: files, directories, block mapping, policies, flushing."""
+
+import pytest
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.fs.types import BLOCK_SIZE, N_DIRECT
+from repro.system import SystemSpec, build_system
+from repro.util import pattern_bytes
+
+
+@pytest.fixture
+def system():
+    return build_system(SystemSpec(policy="ufs_delayed", fs_blocks=512))
+
+
+@pytest.fixture
+def fs(system):
+    return system.fs
+
+
+class TestNamespace:
+    def test_create_and_lookup(self, fs):
+        ino = fs.create("/a")
+        assert fs.namei("/a") == ino
+
+    def test_create_duplicate_fails(self, fs):
+        fs.create("/a")
+        with pytest.raises(FileExists):
+            fs.create("/a")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.namei("/nope")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(InvalidArgument):
+            fs.namei("relative")
+
+    def test_mkdir_and_nested_create(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/e")
+        ino = fs.create("/d/e/f")
+        assert fs.namei("/d/e/f") == ino
+
+    def test_readdir(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/one")
+        fs.create("/d/two")
+        assert fs.readdir("/d") == ["one", "two"]
+
+    def test_root_readdir_has_lost_found(self, fs):
+        assert "lost+found" in fs.readdir("/")
+
+    def test_file_as_directory_fails(self, fs):
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            fs.create("/f/child")
+
+    def test_unlink(self, fs):
+        fs.create("/gone")
+        fs.unlink("/gone")
+        assert not fs.exists("/gone")
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.unlink("/missing")
+
+    def test_unlink_directory_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.unlink("/d")
+
+    def test_unlink_frees_resources(self, fs):
+        before = fs.statfs()
+        ino = fs.create("/big")
+        fs.write(ino, 0, b"z" * (4 * BLOCK_SIZE))
+        assert fs.statfs()["free_blocks"] < before["free_blocks"]
+        fs.unlink("/big")
+        after = fs.statfs()
+        assert after["free_blocks"] == before["free_blocks"]
+        assert after["free_inodes"] == before["free_inodes"]
+
+    def test_rmdir(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_rmdir_nonempty_fails(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/x")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/d")
+
+    def test_rmdir_fixes_parent_nlink(self, fs):
+        root_before = fs.iget(fs.namei("/")).nlink
+        fs.mkdir("/d")
+        assert fs.iget(fs.namei("/")).nlink == root_before + 1
+        fs.rmdir("/d")
+        assert fs.iget(fs.namei("/")).nlink == root_before
+
+    def test_rename_same_dir(self, fs):
+        ino = fs.create("/old")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        assert fs.namei("/new") == ino
+
+    def test_rename_across_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        ino = fs.create("/a/f")
+        fs.rename("/a/f", "/b/g")
+        assert fs.namei("/b/g") == ino
+        assert fs.readdir("/a") == []
+
+    def test_rename_replaces_target(self, fs):
+        ino = fs.create("/src")
+        fs.create("/dst")
+        fs.write(fs.namei("/dst"), 0, b"target data")
+        free_before = fs.statfs()["free_inodes"]
+        fs.rename("/src", "/dst")
+        assert fs.namei("/dst") == ino
+        assert fs.statfs()["free_inodes"] == free_before + 1
+
+    def test_rename_directory_updates_dotdot(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.mkdir("/a/sub")
+        fs.rename("/a/sub", "/b/sub")
+        sub = fs.iget(fs.namei("/b/sub"))
+        assert fs.dir_lookup(sub, "..") == fs.namei("/b")
+
+    def test_many_files_grow_directory(self, fs):
+        fs.mkdir("/many")
+        names = [f"file{i:03d}" for i in range(300)]  # > 256 entries/block
+        for name in names:
+            fs.create(f"/many/{name}")
+        assert fs.readdir("/many") == sorted(names)
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, fs):
+        ino = fs.create("/data")
+        payload = pattern_bytes(1, 0, 1000)
+        fs.write(ino, 0, payload)
+        assert fs.read(ino, 0, 1000) == payload
+
+    def test_read_respects_size(self, fs):
+        ino = fs.create("/short")
+        fs.write(ino, 0, b"abc")
+        assert fs.read(ino, 0, 100) == b"abc"
+        assert fs.read(ino, 2, 100) == b"c"
+        assert fs.read(ino, 5, 100) == b""
+
+    def test_overwrite(self, fs):
+        ino = fs.create("/ow")
+        fs.write(ino, 0, b"aaaaaa")
+        fs.write(ino, 2, b"BB")
+        assert fs.read(ino, 0, 6) == b"aaBBaa"
+
+    def test_sparse_hole_reads_zeroes(self, fs):
+        ino = fs.create("/sparse")
+        fs.write(ino, 3 * BLOCK_SIZE, b"end")
+        assert fs.read(ino, 0, 8) == b"\x00" * 8
+        assert fs.read(ino, 3 * BLOCK_SIZE, 3) == b"end"
+
+    def test_multi_block_write(self, fs):
+        ino = fs.create("/multi")
+        payload = pattern_bytes(2, 0, 3 * BLOCK_SIZE + 500)
+        fs.write(ino, 0, payload)
+        assert fs.read(ino, 0, len(payload)) == payload
+        assert fs.iget(ino).size == len(payload)
+
+    def test_indirect_blocks(self, fs):
+        ino = fs.create("/big")
+        offset = (N_DIRECT + 3) * BLOCK_SIZE  # needs the indirect block
+        fs.write(ino, offset, b"indirect data")
+        assert fs.read(ino, offset, 13) == b"indirect data"
+        assert fs.iget(ino).indirect != 0
+
+    def test_truncate(self, fs):
+        ino = fs.create("/t")
+        fs.write(ino, 0, b"x" * (2 * BLOCK_SIZE))
+        free_before = fs.statfs()["free_blocks"]
+        fs.truncate(ino)
+        assert fs.iget(ino).size == 0
+        assert fs.read(ino, 0, 10) == b""
+        assert fs.statfs()["free_blocks"] == free_before + 2
+
+    def test_write_survives_cache_eviction(self, system):
+        """Dirty pages evicted under memory pressure are flushed and
+        re-readable — the only disk write a Rio system performs."""
+        fs = system.fs
+        system.kernel.ubc.capacity = 8  # make eviction easy to trigger
+        ino = fs.create("/pressure")
+        payload = pattern_bytes(3, 0, BLOCK_SIZE)
+        fs.write(ino, 0, payload)
+        # Force the page out by filling the UBC with another file.
+        filler = fs.create("/filler")
+        for i in range(12):
+            fs.write(filler, i * BLOCK_SIZE, b"f" * 64)
+        assert system.kernel.ubc.stat_evictions > 0
+        assert fs.read(ino, 0, BLOCK_SIZE) == payload
+
+
+class TestDurability:
+    def test_data_reaches_disk_after_unmount(self, system):
+        fs = system.fs
+        ino = fs.create("/durable")
+        fs.write(ino, 0, b"must hit the platter")
+        fs.unmount()
+        system.crash("after unmount")
+        system.reboot()
+        ino = system.fs.namei("/durable")
+        assert system.fs.read(ino, 0, 64) == b"must hit the platter"
+
+    def test_fsync_makes_data_durable_in_delayed_mode(self, system):
+        fs = system.fs
+        ino = fs.create("/fsynced")
+        fs.write(ino, 0, b"explicitly flushed")
+        fs.fsync(ino)
+        system.crash("right after fsync")
+        system.reboot()
+        ino = system.fs.namei("/fsynced")
+        assert system.fs.read(ino, 0, 64) == b"explicitly flushed"
+
+    def test_unfsynced_data_lost_in_delayed_mode(self, system):
+        fs = system.fs
+        ino = fs.create("/unsafe")
+        fs.write(ino, 0, b"still in memory")
+        system.crash("before any flush")
+        system.reboot()
+        # The delayed policy wrote nothing: file (or its data) is gone.
+        if system.fs.exists("/unsafe"):
+            ino = system.fs.namei("/unsafe")
+            assert system.fs.read(ino, 0, 64) != b"still in memory"
+
+    def test_update_daemon_flushes_after_30s(self, system):
+        fs = system.fs
+        ino = fs.create("/periodic")
+        fs.write(ino, 0, b"wait for update")
+        # Let 30+ virtual seconds pass, then poke the kernel.
+        system.clock.consume(31 * 10**9)
+        system.kernel.maybe_run_update()
+        system.drain_disks()
+        system.crash("after update ran")
+        system.reboot()
+        ino = system.fs.namei("/periodic")
+        assert system.fs.read(ino, 0, 64) == b"wait for update"

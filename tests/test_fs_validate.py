@@ -1,0 +1,120 @@
+"""Tests for the independent consistency validator."""
+
+import pytest
+
+from repro.fs.ondisk import DIRENT_SIZE, DirEntry, INODE_SIZE, Inode
+from repro.fs.types import BLOCK_SIZE, FileType, ROOT_INO, SECTORS_PER_BLOCK
+from repro.fs.validate import validate
+from repro.system import SystemSpec, build_system
+
+
+@pytest.fixture
+def system():
+    s = build_system(SystemSpec(policy="ufs_delayed", fs_blocks=512))
+    return s
+
+
+def settle(system):
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+
+
+def patch_inode(system, ino, mutate):
+    sb = system.fs.sb
+    per_block = BLOCK_SIZE // INODE_SIZE
+    block = sb.inode_start + ino // per_block
+    offset = (ino % per_block) * INODE_SIZE
+    raw = bytearray(system.disk.peek(block * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK))
+    inode = Inode.from_bytes(ino, bytes(raw[offset : offset + INODE_SIZE]), strict=False)
+    mutate(inode)
+    raw[offset : offset + INODE_SIZE] = inode.to_bytes()
+    system.disk.poke(block * SECTORS_PER_BLOCK, bytes(raw))
+
+
+class TestValidator:
+    def test_fresh_fs_consistent(self, system):
+        settle(system)
+        assert validate(system.disk).consistent
+
+    def test_populated_fs_consistent(self, system):
+        fs = system.fs
+        fs.mkdir("/d")
+        ino = fs.create("/d/f")
+        fs.write(ino, 0, b"x" * 20000)
+        fs.symlink("/d/f", "/s")
+        fs.link("/d/f", "/hard")
+        settle(system)
+        report = validate(system.disk)
+        assert report.consistent, report.problems
+
+    def test_detects_bad_nlink(self, system):
+        ino = system.fs.create("/f")
+        settle(system)
+        patch_inode(system, ino, lambda i: setattr(i, "nlink", 9))
+        report = validate(system.disk)
+        assert any("nlink" in p for p in report.problems)
+
+    def test_detects_duplicate_claim(self, system):
+        a = system.fs.create("/a")
+        b = system.fs.create("/b")
+        system.fs.write(a, 0, b"a")
+        system.fs.write(b, 0, b"b")
+        settle(system)
+        block_of_a = []
+        patch_inode(system, a, lambda i: block_of_a.append(i.direct[0]))
+        patch_inode(system, b, lambda i: i.direct.__setitem__(0, block_of_a[0]))
+        report = validate(system.disk)
+        assert any("claimed by both" in p for p in report.problems)
+
+    def test_detects_unreachable_inode(self, system):
+        from repro.fs.ondisk import Superblock
+
+        settle(system)
+        # Allocate an inode directly on disk with no directory entry.
+        patch_inode(
+            system,
+            40,
+            lambda i: (setattr(i, "ftype", FileType.REGULAR), setattr(i, "nlink", 1)),
+        )
+        report = validate(system.disk)
+        assert any("unreachable" in p for p in report.problems)
+
+    def test_detects_bitmap_leak(self, system):
+        settle(system)
+        sb = system.fs.sb
+        raw = bytearray(system.disk.peek(sb.bitmap_start * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK))
+        victim = sb.data_start + 50
+        raw[victim // 8] |= 1 << (victim % 8)
+        system.disk.poke(sb.bitmap_start * SECTORS_PER_BLOCK, bytes(raw))
+        report = validate(system.disk)
+        assert any("marked used but unclaimed" in p for p in report.problems)
+
+    def test_detects_missing_dot(self, system):
+        system.fs.mkdir("/d")
+        settle(system)
+        ino = system.fs.namei("/d")
+        holder = []
+        patch_inode(system, ino, lambda i: holder.append(i.direct[0]))
+        block = holder[0]
+        raw = bytearray(system.disk.peek(block * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK))
+        for off in range(0, BLOCK_SIZE, DIRENT_SIZE):
+            entry = DirEntry.from_bytes(bytes(raw[off : off + DIRENT_SIZE]))
+            if entry is not None and entry.name == ".":
+                raw[off : off + DIRENT_SIZE] = b"\x00" * DIRENT_SIZE
+        system.disk.poke(block * SECTORS_PER_BLOCK, bytes(raw))
+        report = validate(system.disk)
+        assert any("missing '.'" in p for p in report.problems)
+
+    def test_fsck_fixes_what_validator_flags(self, system):
+        """fsck and the validator must agree: anything fsck repairs should
+        validate cleanly afterwards."""
+        from repro.fs.fsck import fsck
+
+        ino = system.fs.create("/broken")
+        settle(system)
+        patch_inode(system, ino, lambda i: setattr(i, "nlink", 5))
+        assert not validate(system.disk).consistent
+        fsck(system.disk)
+        report = validate(system.disk)
+        assert report.consistent, report.problems

@@ -1,0 +1,116 @@
+"""Tests for PhysicalMemory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineCheck
+from repro.hw.memory import PhysicalMemory
+
+
+def make_mem(pages=4, page_size=8192):
+    return PhysicalMemory(pages * page_size, page_size)
+
+
+class TestConstruction:
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(8192 + 1, 8192)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0, 8192)
+
+    def test_page_count(self):
+        assert make_mem(pages=4).num_pages == 4
+
+
+class TestReadWrite:
+    def test_zero_initialised(self):
+        mem = make_mem()
+        assert mem.read(0, 100) == b"\x00" * 100
+
+    def test_roundtrip(self):
+        mem = make_mem()
+        mem.write(10, b"hello rio")
+        assert mem.read(10, 9) == b"hello rio"
+
+    def test_cross_page_write(self):
+        mem = make_mem(page_size=8192)
+        data = bytes(range(256)) * 80  # 20480 bytes, spans 3 pages
+        mem.write(4000, data)
+        assert mem.read(4000, len(data)) == data
+
+    def test_out_of_range_read_raises(self):
+        mem = make_mem(pages=1)
+        with pytest.raises(MachineCheck):
+            mem.read(8192 - 4, 8)
+
+    def test_out_of_range_write_raises(self):
+        mem = make_mem(pages=1)
+        with pytest.raises(MachineCheck):
+            mem.write(8190, b"abcd")
+
+    def test_negative_address_raises(self):
+        with pytest.raises(MachineCheck):
+            make_mem().read(-1, 1)
+
+    def test_u64_roundtrip(self):
+        mem = make_mem()
+        mem.write_u64(64, 0xDEADBEEFCAFEF00D)
+        assert mem.read_u64(64) == 0xDEADBEEFCAFEF00D
+
+    def test_u32_roundtrip(self):
+        mem = make_mem()
+        mem.write_u32(12, 0x12345678)
+        assert mem.read_u32(12) == 0x12345678
+
+    def test_fill(self):
+        mem = make_mem()
+        mem.fill(100, 50, 0xAB)
+        assert mem.read(100, 50) == b"\xab" * 50
+        assert mem.read(99, 1) == b"\x00"
+
+    @given(st.integers(0, 8192 * 4 - 64), st.binary(min_size=1, max_size=64))
+    def test_write_then_read_anywhere(self, addr, data):
+        mem = make_mem()
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+
+class TestImageOps:
+    def test_dump_and_load_image(self):
+        mem = make_mem(pages=2)
+        mem.write(100, b"persist me")
+        image = mem.dump_image()
+        fresh = make_mem(pages=2)
+        fresh.load_image(image)
+        assert fresh.read(100, 10) == b"persist me"
+
+    def test_load_image_size_mismatch(self):
+        with pytest.raises(ValueError):
+            make_mem(pages=2).load_image(b"\x00" * 10)
+
+    def test_erase_models_pc_reset(self):
+        mem = make_mem()
+        mem.write(0, b"gone after PC reset")
+        mem.erase()
+        assert mem.read(0, 19) == b"\x00" * 19
+
+    def test_flip_bit(self):
+        mem = make_mem()
+        mem.write(500, b"\x00")
+        mem.flip_bit(500, 3)
+        assert mem.read(500, 1) == bytes([1 << 3])
+        mem.flip_bit(500, 3)
+        assert mem.read(500, 1) == b"\x00"
+
+    def test_flip_bit_validates(self):
+        mem = make_mem()
+        with pytest.raises(ValueError):
+            mem.flip_bit(0, 8)
+
+    def test_page_checksum_changes_on_write(self):
+        mem = make_mem()
+        before = mem.page_checksum(0)
+        mem.write(8, b"x")
+        assert mem.page_checksum(0) != before

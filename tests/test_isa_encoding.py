@@ -1,0 +1,155 @@
+"""Tests for instruction encoding/decoding and the assembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import AssemblyError, Instruction, Op, assemble, decode, encode
+from repro.isa.encoding import REG_NUMBERS, sext16, to_signed64
+
+
+class TestEncoding:
+    def test_roundtrip_memory_format(self):
+        inst = Instruction(opcode=Op.LDQ, ra=5, rb=30, imm=0xFFF8)  # -8
+        assert decode(encode(inst)) == inst
+
+    def test_roundtrip_operate_format(self):
+        inst = Instruction(opcode=Op.ADDQ, ra=1, rb=2, rc=3)
+        assert decode(encode(inst)) == inst
+
+    def test_illegal_opcode_preserved(self):
+        word = 0x3D << 26  # 0x3D is not a defined opcode
+        inst = decode(word)
+        assert inst.op is None
+        assert inst.opcode == 0x3D
+
+    def test_operate_ignores_function_bits(self):
+        """Bits 15..5 of operate format are don't-care, as a bit flip there
+        should not change semantics."""
+        word = encode(Instruction(opcode=Op.XOR, ra=1, rb=2, rc=3))
+        flipped = word | (1 << 9)
+        assert decode(flipped) == decode(word)
+
+    def test_writes_register(self):
+        assert Instruction(opcode=Op.ADDQ, ra=1, rb=2, rc=3).writes_register() == 3
+        assert Instruction(opcode=Op.LDQ, ra=4, rb=5).writes_register() == 4
+        assert Instruction(opcode=Op.STQ, ra=4, rb=5).writes_register() is None
+        assert Instruction(opcode=Op.ADDQ, ra=1, rb=2, rc=31).writes_register() is None
+
+    def test_predicates(self):
+        assert Instruction(opcode=Op.STQ, ra=0, rb=0).is_store
+        assert Instruction(opcode=Op.LDB, ra=0, rb=0).is_load
+        assert Instruction(opcode=Op.BEQ, ra=0, rb=31).is_branch
+        assert not Instruction(opcode=Op.ADDQ, ra=0, rb=0).is_branch
+
+    def test_sext16(self):
+        assert sext16(0x7FFF) == 32767
+        assert sext16(0x8000) == -32768
+        assert sext16(0xFFFF) == -1
+
+    def test_to_signed64(self):
+        assert to_signed64((1 << 64) - 1) == -1
+        assert to_signed64(5) == 5
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_decode_never_raises(self, word):
+        decode(word)  # must not raise for any 32-bit pattern
+
+    def test_str_smoke(self):
+        assert "ldq" in str(Instruction(opcode=Op.LDQ, ra=2, rb=30, imm=8))
+        assert "panic" in str(Instruction(opcode=Op.PANIC, ra=31, rb=31, imm=3))
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        words, labels = assemble(
+            """
+            start:
+                lda t0, 5(zero)
+                addq t0, t0, v0
+                ret
+            """
+        )
+        assert len(words) == 3
+        assert labels == {"start": 0}
+        assert decode(words[0]).op is Op.LDA
+        assert decode(words[1]).op is Op.ADDQ
+        assert decode(words[2]).op is Op.RET
+
+    def test_branch_displacement(self):
+        words, labels = assemble(
+            """
+            loop:
+                lda t0, -1(t0)
+                bne t0, loop
+                ret
+            """
+        )
+        branch = decode(words[1])
+        assert branch.op is Op.BNE
+        assert sext16(branch.imm) == -2  # back to loop from pc+1
+
+    def test_forward_branch(self):
+        words, _ = assemble(
+            """
+                beq a0, done
+                lda v0, 1(zero)
+            done:
+                ret
+            """
+        )
+        assert sext16(decode(words[0]).imm) == 1
+
+    def test_br_without_link(self):
+        words, _ = assemble("target: br target")
+        inst = decode(words[0])
+        assert inst.op is Op.BR
+        assert inst.ra == REG_NUMBERS["zero"]
+
+    def test_panic(self):
+        words, _ = assemble("panic #42")
+        inst = decode(words[0])
+        assert inst.op is Op.PANIC
+        assert inst.imm == 42
+
+    def test_jsr_and_ret_reg(self):
+        words, _ = assemble(
+            """
+            jsr ra, (pv)
+            ret (t0)
+            """
+        )
+        assert decode(words[0]).op is Op.JSR
+        assert decode(words[1]).rb == REG_NUMBERS["t0"]
+
+    def test_hex_and_negative_displacements(self):
+        words, _ = assemble("ldq t0, 0x10(sp)\nstq t0, -8(sp)")
+        assert sext16(decode(words[0]).imm) == 16
+        assert sext16(decode(words[1]).imm) == -8
+
+    def test_comments_and_blank_lines(self):
+        words, _ = assemble("; a comment\n\n  ret  ; trailing\n")
+        assert len(words) == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate t0, t1")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("lda t99, 0(zero)")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("beq t0, nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n ret\na:\n ret")
+
+    def test_displacement_range_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("lda t0, 40000(zero)")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ldq t0, t1")

@@ -1,0 +1,274 @@
+"""Tests for the interpreter and the kernel routines.
+
+The central property checked here: native fast paths and interpreted
+execution are behaviourally identical (same memory effects, same return
+values, same panics) — they may only differ in speed.
+"""
+
+import pytest
+
+from repro.errors import (
+    IllegalInstruction,
+    KernelPanic,
+    MachineCheck,
+    ProtectionTrap,
+    SystemCrash,
+    WatchdogTimeout,
+)
+from repro.isa.encoding import Instruction, Op, decode
+from repro.isa.routines import (
+    CACHE_HDR_MAGIC,
+    HDR_DST_OFF,
+    HDR_MAGIC_OFF,
+    HDR_SIZE_OFF,
+    PROC_MAGIC,
+    VNODE_MAGIC,
+)
+from repro.util import pattern_bytes
+
+
+def write_header(env, hdr_addr, dst, size):
+    env.bus.store_u64(hdr_addr + HDR_MAGIC_OFF, CACHE_HDR_MAGIC)
+    env.bus.store_u64(hdr_addr + HDR_DST_OFF, dst)
+    env.bus.store_u64(hdr_addr + HDR_SIZE_OFF, size)
+
+
+class TestBcopy:
+    @pytest.mark.parametrize("length", [0, 1, 7, 8, 9, 63, 64, 100, 1000])
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_copies_exactly(self, env, length, interpreted):
+        src = env.heap
+        dst = env.heap + 0x2000
+        data = pattern_bytes(1, 0, length)
+        env.bus.store(src, data) if length else None
+        env.interp.force_interpret = interpreted
+        result = env.interp.call("bcopy", [src, dst, length], sp=env.stack_top)
+        assert result.interpreted == interpreted
+        assert result.value == length
+        assert env.bus.load(dst, length) == data if length else True
+
+    def test_native_and_interpreted_same_stores(self, env):
+        """Interpreted run must produce identical memory to native run."""
+        data = pattern_bytes(2, 0, 123)
+        env.bus.store(env.heap, data)
+        env.interp.call("bcopy", [env.heap, env.heap + 0x1000, 123])
+        native_result = env.bus.load(env.heap + 0x1000, 123)
+        env.interp.force_interpret = True
+        env.interp.call("bcopy", [env.heap, env.heap + 0x3000, 123], sp=env.stack_top)
+        assert env.bus.load(env.heap + 0x3000, 123) == native_result == data
+
+    def test_step_estimate_matches_interpreter(self, env):
+        """The native cost formula must match real interpreted step counts."""
+        for length in (0, 5, 8, 17, 64):
+            env.interp.force_interpret = True
+            interpreted = env.interp.call(
+                "bcopy", [env.heap, env.heap + 0x1000, length], sp=env.stack_top
+            )
+            env.interp.force_interpret = False
+            native = env.interp.call("bcopy", [env.heap, env.heap + 0x1000, length])
+            assert abs(native.steps - interpreted.steps) <= 4, length
+
+    def test_store_count_matches(self, env):
+        env.interp.force_interpret = True
+        interpreted = env.interp.call("bcopy", [env.heap, env.heap + 0x1000, 29], sp=env.stack_top)
+        env.interp.force_interpret = False
+        native = env.interp.call("bcopy", [env.heap, env.heap + 0x1000, 29])
+        assert native.stores == interpreted.stores
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_protected_destination_traps(self, env, interpreted):
+        protected_vpn = 33
+        env.mmu.set_writable(protected_vpn, False)
+        env.interp.force_interpret = interpreted
+        with pytest.raises(ProtectionTrap):
+            env.interp.call(
+                "bcopy", [env.heap, protected_vpn * env.page, 16], sp=env.stack_top
+            )
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_wild_destination_machine_checks(self, env, interpreted):
+        env.interp.force_interpret = interpreted
+        with pytest.raises(MachineCheck):
+            env.interp.call("bcopy", [env.heap, 0xBAD0000000, 16], sp=env.stack_top)
+
+
+class TestBzero:
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_zeroes(self, env, interpreted):
+        env.bus.store(env.heap, b"\xff" * 40)
+        env.interp.force_interpret = interpreted
+        env.interp.call("bzero", [env.heap + 4, 21], sp=env.stack_top)
+        assert env.bus.load(env.heap, 40) == b"\xff" * 4 + b"\x00" * 21 + b"\xff" * 15
+
+
+class TestCacheCopy:
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_copies_through_header(self, env, interpreted):
+        hdr = env.heap
+        dst = env.heap + 0x4000
+        src = env.heap + 0x1000
+        write_header(env, hdr, dst, 0x1000)
+        data = pattern_bytes(3, 0, 200)
+        env.bus.store(src, data)
+        env.interp.force_interpret = interpreted
+        result = env.interp.call("cache_copy", [hdr, src, 64, 200], sp=env.stack_top)
+        assert result.value == 200
+        assert env.bus.load(dst + 64, 200) == data
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_bad_magic_panics(self, env, interpreted):
+        hdr = env.heap
+        write_header(env, hdr, env.heap + 0x4000, 0x1000)
+        env.bus.store_u64(hdr + HDR_MAGIC_OFF, 0x1234)  # corrupt the magic
+        env.interp.force_interpret = interpreted
+        with pytest.raises(KernelPanic, match="magic"):
+            env.interp.call("cache_copy", [hdr, env.heap + 0x1000, 0, 8], sp=env.stack_top)
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_bounds_check_panics(self, env, interpreted):
+        hdr = env.heap
+        write_header(env, hdr, env.heap + 0x4000, 128)
+        env.interp.force_interpret = interpreted
+        with pytest.raises(KernelPanic, match="beyond buffer end"):
+            env.interp.call("cache_copy", [hdr, env.heap + 0x1000, 64, 128], sp=env.stack_top)
+
+    def test_corrupted_dst_pointer_goes_wild(self, env):
+        """A heap bit flip in the header's destination field redirects the
+        copy — the classic direct-corruption path of section 3.2."""
+        hdr = env.heap
+        write_header(env, hdr, env.heap + 0x4000, 0x1000)
+        # Flip a high bit of dst_base: the store lands far away.
+        paddr = env.mmu.translate(hdr + HDR_DST_OFF, write=False)
+        env.memory.flip_bit(paddr + 5, 7)  # flip bit 47 of the pointer
+        with pytest.raises(MachineCheck):
+            env.interp.call("cache_copy", [hdr, env.heap + 0x1000, 0, 8], sp=env.stack_top)
+
+
+class TestBackgroundRoutines:
+    def build_runqueue(self, env, nodes):
+        head_ptr = env.heap + 0x7000
+        addrs = [env.heap + 0x7100 + 32 * i for i in range(nodes)]
+        env.bus.store_u64(head_ptr, addrs[0] if addrs else 0)
+        for i, addr in enumerate(addrs):
+            env.bus.store_u64(addr, PROC_MAGIC)
+            env.bus.store_u64(addr + 8, addrs[i + 1] if i + 1 < nodes else 0)
+            env.bus.store_u64(addr + 16, 0)
+        return head_ptr, addrs
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_sched_tick_increments(self, env, interpreted):
+        head_ptr, addrs = self.build_runqueue(env, 3)
+        env.interp.force_interpret = interpreted
+        env.interp.call("sched_tick", [head_ptr], sp=env.stack_top)
+        for addr in addrs:
+            assert env.bus.load_u64(addr + 16) == 1
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_sched_tick_detects_corruption(self, env, interpreted):
+        head_ptr, addrs = self.build_runqueue(env, 2)
+        env.bus.store_u64(addrs[1], 0xBAD)
+        env.interp.force_interpret = interpreted
+        with pytest.raises(KernelPanic, match="runqueue"):
+            env.interp.call("sched_tick", [head_ptr], sp=env.stack_top)
+
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_vnode_scan(self, env, interpreted):
+        table = env.heap + 0x8000
+        node = env.heap + 0x8100
+        env.bus.store_u64(table, node)
+        env.bus.store_u64(table + 8, 0)
+        env.bus.store_u64(node, VNODE_MAGIC)
+        env.bus.store_u64(node + 8, 0)
+        env.bus.store_u64(node + 16, 7)
+        env.interp.force_interpret = interpreted
+        env.interp.call("vnode_scan", [table, 2], sp=env.stack_top)
+        assert env.bus.load_u64(node + 16) == 8
+
+
+class TestChecksumBlock:
+    @pytest.mark.parametrize("interpreted", [False, True])
+    def test_sums_quadwords(self, env, interpreted):
+        env.bus.store_u64(env.heap, 10)
+        env.bus.store_u64(env.heap + 8, 32)
+        env.interp.force_interpret = interpreted
+        result = env.interp.call("checksum_block", [env.heap, 16], sp=env.stack_top)
+        assert result.value == 42
+
+    def test_checksum_changes_with_data(self, env):
+        env.bus.store(env.heap, pattern_bytes(9, 0, 64))
+        before = env.interp.call("checksum_block", [env.heap, 64]).value
+        env.bus.store_u64(env.heap + 16, 0x999)
+        after = env.interp.call("checksum_block", [env.heap, 64]).value
+        assert before != after
+
+
+class TestFaultedExecution:
+    """Corrupted text must run interpreted and crash in realistic ways."""
+
+    def find_instruction(self, env, routine, predicate):
+        r = env.text.routines[routine]
+        for idx in range(r.start_index, r.start_index + r.num_words):
+            if predicate(env.text.read_instruction(idx)):
+                return idx
+        raise AssertionError("instruction not found")
+
+    def test_corruption_disables_native_path(self, env):
+        idx = env.text.routines["bcopy"].start_index
+        env.text.write_word(idx, env.text.read_word(idx))  # rewrite same word
+        assert not env.text.routines["bcopy"].pristine
+        result = env.interp.call("bcopy", [env.heap, env.heap + 0x1000, 8], sp=env.stack_top)
+        assert result.interpreted
+
+    def test_deleted_loop_exit_crashes(self, env):
+        """Deleting the branch that exits the copy loop makes bcopy run off
+        the end of mapped memory or trip the watchdog — a crash either way,
+        never a silent success."""
+        idx = self.find_instruction(
+            env, "bcopy", lambda i: i.op is Op.BNE
+        )
+        env.text.write_instruction(idx, Instruction(opcode=Op.NOP, ra=31, rb=31))
+        with pytest.raises(SystemCrash):
+            env.interp.call(
+                "bcopy", [env.heap, env.heap + 0x1000, 16], sp=env.stack_top, max_steps=50_000
+            )
+
+    def test_illegal_opcode_crashes(self, env):
+        idx = env.text.routines["bzero"].start_index + 1
+        env.text.write_word(idx, 0x3D << 26)
+        with pytest.raises(IllegalInstruction):
+            env.interp.call("bzero", [env.heap, 8], sp=env.stack_top)
+
+    def test_wild_return_address_from_stack(self, env):
+        """Corrupting the saved return address on the stack sends RET into
+        the weeds: fetch from an unmapped address -> machine check."""
+        hdr = env.heap
+        write_header(env, hdr, env.heap + 0x4000, 0x1000)
+        # Pre-corrupt where cache_copy will save ra: it stores ra at sp-32.
+        # Instead run normally but patch the reload: easier — corrupt the
+        # stack slot between spill and reload using a text mutation that
+        # skips the reload is complex; here we simply verify RET to a wild
+        # target machine-checks via a crafted program.
+        idx = self.find_instruction(env, "cache_copy", lambda i: i.op is Op.RET)
+        # Make the final ret jump through t3 (holds a data value, not text).
+        env.text.write_instruction(idx, Instruction(opcode=Op.RET, ra=31, rb=3))
+        with pytest.raises(SystemCrash):
+            env.interp.call("cache_copy", [hdr, env.heap + 0x1000, 0, 8], sp=env.stack_top)
+
+    def test_watchdog_fires_on_infinite_loop(self, env):
+        idx = self.find_instruction(env, "sched_tick", lambda i: i.op is Op.LDQ and i.imm == 8)
+        # Deleting the "advance to next node" load makes the walk spin on
+        # the same node forever.
+        env.text.write_instruction(idx, Instruction(opcode=Op.NOP, ra=31, rb=31))
+        head_ptr = env.heap + 0x7000
+        node = env.heap + 0x7100
+        env.bus.store_u64(head_ptr, node)
+        env.bus.store_u64(node, PROC_MAGIC)
+        env.bus.store_u64(node + 8, node)  # self-loop not even needed
+        with pytest.raises(WatchdogTimeout):
+            env.interp.call("sched_tick", [head_ptr], sp=env.stack_top, max_steps=5000)
+
+    def test_halt_outside_sentinel_panics(self, env):
+        idx = env.text.routines["bzero"].start_index
+        env.text.write_instruction(idx, Instruction(opcode=Op.HALT, ra=31, rb=31))
+        with pytest.raises(KernelPanic, match="unexpected halt"):
+            env.interp.call("bzero", [env.heap, 8], sp=env.stack_top)

@@ -1,0 +1,149 @@
+"""Tests for the kernel heap allocator and locks."""
+
+import pytest
+
+from repro.errors import KernelPanic, NoSpace, WatchdogTimeout
+from repro.hw import Machine, MachineConfig
+from repro.kernel.kmalloc import HEADER_BYTES, KernelHeap
+from repro.kernel.locks import LockManager
+
+PAGE = 8192
+
+
+@pytest.fixture
+def heap():
+    machine = Machine(MachineConfig(memory_bytes=16 * PAGE, boot_time_ns=0))
+    for vpn in range(4):
+        machine.mmu.map(vpn, vpn)
+    return KernelHeap(machine.bus, 0, 4 * PAGE)
+
+
+class TestKernelHeap:
+    def test_alloc_and_free(self, heap):
+        addr = heap.kmalloc(100)
+        assert heap.is_live(addr)
+        heap.kfree(addr)
+        assert not heap.is_live(addr)
+
+    def test_allocations_do_not_overlap(self, heap):
+        blocks = [(heap.kmalloc(64), 64) for _ in range(20)]
+        spans = sorted((a, a + n) for a, n in blocks)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_data_survives_other_allocations(self, heap):
+        a = heap.kmalloc(32)
+        heap.bus.store(a, b"keep me around..")
+        for _ in range(10):
+            heap.kmalloc(48)
+        assert heap.bus.load(a, 16) == b"keep me around.."
+
+    def test_free_reuses_space(self, heap):
+        a = heap.kmalloc(256)
+        heap.kfree(a)
+        b = heap.kmalloc(256)
+        assert b == a  # first-fit finds the same hole
+
+    def test_coalescing(self, heap):
+        addrs = [heap.kmalloc(1000) for _ in range(3)]
+        for addr in addrs:
+            heap.kfree(addr)
+        big = heap.kmalloc(2800)  # only fits if the three holes merged
+        assert heap.is_live(big)
+
+    def test_exhaustion_raises(self, heap):
+        with pytest.raises(NoSpace):
+            for _ in range(10_000):
+                heap.kmalloc(4096)
+
+    def test_corrupted_header_panics_on_free(self, heap):
+        addr = heap.kmalloc(64)
+        # A heap fault clobbers the allocation header.
+        heap.bus.store(addr - HEADER_BYTES, b"\xde\xad\xbe\xef")
+        with pytest.raises(KernelPanic, match="magic"):
+            heap.kfree(addr)
+
+    def test_double_free_panics(self, heap):
+        addr = heap.kmalloc(64)
+        heap.kfree(addr)
+        with pytest.raises(KernelPanic):
+            heap.kfree(addr)
+
+    def test_alloc_hook_fires(self, heap):
+        calls = []
+        heap.alloc_hook = lambda addr, size: calls.append((addr, size))
+        addr = heap.kmalloc(40)
+        assert calls == [(addr, 40)]
+
+    def test_rejects_nonpositive_size(self, heap):
+        with pytest.raises(ValueError):
+            heap.kmalloc(0)
+
+    def test_stats(self, heap):
+        a = heap.kmalloc(8)
+        heap.kmalloc(8)
+        heap.kfree(a)
+        assert heap.stat_allocs == 2
+        assert heap.stat_frees == 1
+        assert heap.live_blocks == 1
+
+
+class TestLocks:
+    def test_acquire_release(self):
+        manager = LockManager()
+        lock = manager.lock("buf")
+        lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_same_name_same_lock(self):
+        manager = LockManager()
+        assert manager.lock("x") is manager.lock("x")
+
+    def test_context_manager(self):
+        manager = LockManager()
+        with manager.lock("y") as lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_reacquire_deadlocks(self):
+        manager = LockManager()
+        lock = manager.lock("a")
+        lock.acquire()
+        with pytest.raises(WatchdogTimeout, match="deadlock"):
+            lock.acquire()
+
+    def test_unlock_unheld_panics(self):
+        manager = LockManager()
+        with pytest.raises(KernelPanic, match="unheld"):
+            manager.lock("b").release()
+
+    def test_elided_release_leaves_lock_held(self):
+        manager = LockManager()
+        manager.elision_hook = lambda lock, op: op == "release"
+        lock = manager.lock("c")
+        lock.acquire()
+        lock.release()  # elided!
+        assert lock.held
+        with pytest.raises(WatchdogTimeout):
+            lock.acquire()
+
+    def test_elided_acquire_opens_race_window(self):
+        manager = LockManager()
+        elide_next = [True]
+
+        def hook(lock, op):
+            if op == "acquire" and elide_next[0]:
+                elide_next[0] = False
+                return True
+            return False
+
+        manager.elision_hook = hook
+        lock = manager.lock("d")
+        lock.acquire()  # elided: section runs unprotected
+        assert manager.any_racing()
+        assert manager.racy_sections == 1
+        lock.release()  # balanced: no panic, race window closes
+        assert not manager.any_racing()
+        assert not lock.held

@@ -1,0 +1,52 @@
+"""Tests for the fault-propagation analysis (footnote 2, implemented)."""
+
+from repro.faults import FaultType
+from repro.reliability import run_table1_campaign
+from repro.reliability.propagation import (
+    PropagationSummary,
+    format_propagation,
+    summarize_propagation,
+)
+
+
+class TestSummary:
+    def test_add_and_median(self):
+        summary = PropagationSummary()
+        for ops in (10, 50, 20):
+            summary.add(FaultType.POINTER, "machine_check", ops, False)
+        summary.add(FaultType.POINTER, "panic", 5, True)
+        assert summary.matrix[(FaultType.POINTER, "machine_check")] == 3
+        assert summary.matrix[(FaultType.POINTER, "panic")] == 1
+        assert summary.median_incubation(FaultType.POINTER) == 20
+        assert summary.corruptions[FaultType.POINTER] == 1
+
+    def test_empty_median(self):
+        assert PropagationSummary().median_incubation(FaultType.POINTER) == 0
+
+
+class TestEndToEnd:
+    def test_campaign_propagation(self):
+        table = run_table1_campaign(
+            crashes_per_cell=2,
+            systems=("rio_prot",),
+            fault_types=(FaultType.KERNEL_TEXT, FaultType.SYNCHRONIZATION),
+            base_seed=1300,
+        )
+        summary = summarize_propagation(table, "rio_prot")
+        assert sum(summary.matrix.values()) == 4
+        text = format_propagation(summary)
+        assert "kernel text" in text
+        assert "median ops" in text
+
+    def test_incubation_uses_injection_offset(self):
+        table = run_table1_campaign(
+            crashes_per_cell=1,
+            systems=("rio_prot",),
+            fault_types=(FaultType.SYNCHRONIZATION,),
+            base_seed=1400,
+        )
+        summary = summarize_propagation(table, "rio_prot")
+        (ops_list,) = summary.incubation_ops.values()
+        cell = table.cell("rio_prot", FaultType.SYNCHRONIZATION)
+        result = next(r for r in cell.results if r.crashed)
+        assert ops_list[0] == result.ops_run - result.injected_at_op

@@ -1,0 +1,29 @@
+"""Unit tests for the sweep formatting helpers (the sweeps themselves are
+exercised by benchmarks/bench_sweeps.py)."""
+
+from repro.perf import format_sweep
+
+
+def test_format_sweep_renders_grid():
+    results = {
+        ("rio", 1): 1.0,
+        ("rio", 2): 1.1,
+        ("wt", 1): 5.0,
+        ("wt", 2): 9.5,
+    }
+    text = format_sweep(results, "scale")
+    lines = text.splitlines()
+    assert "scale" in lines[0]
+    assert "rio" in lines[0] and "wt" in lines[0]
+    assert len(lines) == 3  # header + one row per x value
+    assert "1.00s" in lines[1]
+    assert "9.50s" in lines[2]
+
+
+def test_format_sweep_sorts_axes():
+    results = {("b", 10): 2.0, ("a", 1): 1.0, ("a", 10): 3.0, ("b", 1): 4.0}
+    text = format_sweep(results, "x")
+    lines = text.splitlines()
+    assert lines[0].index("a") < lines[0].index("b")
+    assert lines[1].strip().startswith("1")
+    assert lines[2].strip().startswith("10")

@@ -1,0 +1,115 @@
+"""Tests for checksums and the deterministic PRNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import DeterministicRandom, fletcher32, pattern_bytes
+
+
+class TestFletcher32:
+    def test_known_properties(self):
+        assert fletcher32(b"") == fletcher32(b"")
+        assert fletcher32(b"abcde") != fletcher32(b"abcdf")
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"The Rio file cache" * 10)
+        original = fletcher32(data)
+        data[7] ^= 0x10
+        assert fletcher32(data) != original
+
+    def test_accepts_buffer_types(self):
+        assert fletcher32(b"xyz") == fletcher32(bytearray(b"xyz")) == fletcher32(memoryview(b"xyz"))
+
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_deterministic(self, data):
+        assert fletcher32(data) == fletcher32(data)
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(0, 7))
+    def test_any_one_bit_flip_detected(self, data, bit):
+        mutated = bytearray(data)
+        mutated[len(data) // 2] ^= 1 << bit
+        assert fletcher32(bytes(mutated)) != fletcher32(data)
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom(42)
+        b = DeterministicRandom(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRandom(1).next_u64() != DeterministicRandom(2).next_u64()
+
+    def test_randint_bounds(self):
+        rng = DeterministicRandom(7)
+        values = [rng.randint(3, 9) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 9
+        assert set(values) == set(range(3, 10))
+
+    def test_randrange_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(0).randrange(0)
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRandom(11)
+        for _ in range(100):
+            x = rng.random()
+            assert 0.0 <= x < 1.0
+
+    def test_choice_and_weighted_choice(self):
+        rng = DeterministicRandom(5)
+        assert rng.choice([10]) == 10
+        picks = {rng.weighted_choice(["a", "b"], [0.0, 1.0]) for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_weighted_choice_validates(self):
+        rng = DeterministicRandom(5)
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1, 2])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRandom(9)
+        seq = list(range(30))
+        shuffled = list(seq)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == seq
+
+    def test_bytes_length(self):
+        rng = DeterministicRandom(3)
+        for n in (0, 1, 7, 8, 9, 100):
+            assert len(rng.bytes(n)) == n
+
+    def test_fork_independent(self):
+        rng = DeterministicRandom(1)
+        child_a = rng.fork(1)
+        child_b = rng.fork(2)
+        assert child_a.next_u64() != child_b.next_u64()
+
+
+class TestPatternBytes:
+    def test_deterministic(self):
+        assert pattern_bytes(5, 100, 64) == pattern_bytes(5, 100, 64)
+
+    def test_different_keys_differ(self):
+        assert pattern_bytes(1, 0, 32) != pattern_bytes(2, 0, 32)
+
+    def test_zero_length(self):
+        assert pattern_bytes(1, 0, 0) == b""
+
+    @given(
+        st.integers(0, 2**32),
+        st.integers(0, 10_000),
+        st.integers(1, 300),
+        st.integers(1, 300),
+    )
+    def test_concatenation_property(self, key, offset, len_a, len_b):
+        """Contents are a pure function of (key, offset): splits concatenate."""
+        whole = pattern_bytes(key, offset, len_a + len_b)
+        parts = pattern_bytes(key, offset, len_a) + pattern_bytes(key, offset + len_a, len_b)
+        assert whole == parts
+
+    @given(st.integers(0, 2**32), st.integers(0, 1000), st.integers(1, 100))
+    def test_subrange_property(self, key, offset, length):
+        """Reading a subrange equals slicing the containing range."""
+        outer = pattern_bytes(key, 0, offset + length)
+        assert pattern_bytes(key, offset, length) == outer[offset : offset + length]
