@@ -2,13 +2,17 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full examples table1 table2 clean
+.PHONY: install test lint bench bench-full examples table1 table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Static-analysis lint over every kernel routine; fails on any finding.
+lint:
+	PYTHONPATH=src $(PY) -m repro lint
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -2,10 +2,12 @@
 method, which itself adds essentially no overhead.
 
 Measures a store-dense workload (file writes) under the three protection
-modes on otherwise identical Rio systems, in virtual time.
+modes on otherwise identical Rio systems, in virtual time.  Under
+CODE_PATCHING the kernel text really is rewritten with inline address
+checks and interpreted, so the overhead is the extra instructions the
+patched binary executes — and the [Wahbe93]-style check-elision pass
+(``code_patch_optimize``) measurably narrows it.
 """
-
-from dataclasses import replace
 
 import pytest
 
@@ -13,10 +15,14 @@ from repro.core import ProtectionMode, RioConfig
 from repro.system import SystemSpec, build_system
 
 
-def run_store_workload(mode: ProtectionMode) -> float:
+def run_store_workload(mode: ProtectionMode, optimize: bool = True) -> float:
     spec = SystemSpec(
         policy="rio",
-        rio=RioConfig(protection=mode, maintain_checksums=False),
+        rio=RioConfig(
+            protection=mode,
+            maintain_checksums=False,
+            code_patch_optimize=optimize,
+        ),
     )
     system = build_system(spec)
     vfs = system.vfs
@@ -65,3 +71,30 @@ def test_code_patching_overhead_band(benchmark, record_result):
     assert vm_overhead < 0.02
     # Code patching lands in (or near) the paper's 20-50% band.
     assert 0.10 <= patch_overhead <= 0.80
+
+
+def test_check_elision_reduces_overhead(benchmark, record_result):
+    """The optimizer's elided checks and unspilled scratch registers must
+    show up as real time: optimized < naive, both in the band."""
+
+    def measure():
+        return {
+            "none": run_store_workload(ProtectionMode.NONE),
+            "optimized": run_store_workload(ProtectionMode.CODE_PATCHING, True),
+            "naive": run_store_workload(ProtectionMode.CODE_PATCHING, False),
+        }
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = times["none"]
+    optimized = times["optimized"] / base - 1.0
+    naive = times["naive"] / base - 1.0
+    record_result(
+        "code_patch_elision",
+        "Check-elision effect on the store-dense workload:\n"
+        f"  naive patch overhead:     {100 * naive:.1f}%\n"
+        f"  optimized patch overhead: {100 * optimized:.1f}%\n"
+        f"  elision saved:            {100 * (naive - optimized):.1f} points",
+    )
+    assert optimized < naive
+    assert 0.10 <= optimized <= 0.80
+    assert 0.10 <= naive <= 0.80

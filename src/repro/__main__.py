@@ -6,6 +6,10 @@ Commands:
 * ``table1``  — run the reliability campaign (Table 1) and print it.
 * ``table2``  — run the performance grid (Table 2) and print it.
 * ``mttf``    — the section 3.3 MTTF illustration from the paper's rates.
+* ``analyze`` — static analysis of the kernel text: disassembly, CFG,
+  lint findings and the code-patching plan for one routine (or all).
+* ``lint``    — run the lint suite over every kernel routine; exits
+  non-zero on findings (used by ``make lint``).
 
 Each accepts ``--scale`` to trade time for statistics.
 """
@@ -69,6 +73,58 @@ def cmd_mttf(_args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.isa.analysis import build_cfg, disassemble_words, lint_words, patch_routine
+    from repro.isa.assembler import assemble
+    from repro.isa.routines import ROUTINE_SOURCES
+
+    names = [args.routine] if args.routine else sorted(ROUTINE_SOURCES)
+    unknown = [n for n in names if n not in ROUTINE_SOURCES]
+    if unknown:
+        print(f"unknown routine {unknown[0]!r}; known: {', '.join(sorted(ROUTINE_SOURCES))}")
+        return 2
+    for name in names:
+        words, labels = assemble(ROUTINE_SOURCES[name])
+        dis = disassemble_words(words, labels=labels, name=name)
+        cfg = build_cfg(dis)
+        print(f"=== {name} ({len(words)} words, {len(cfg.blocks)} blocks) ===")
+        print(dis.source, end="")
+        print("blocks:")
+        for block in cfg.blocks.values():
+            succs = ", ".join(str(s) for s in sorted(block.succs)) or "-"
+            term = "  [terminates]" if block.terminates else ""
+            print(f"  [{block.start:3d}..{block.end:3d})  succs: {succs}{term}")
+        findings = lint_words(name, words, labels=labels)
+        if findings:
+            print("lint:")
+            for finding in findings:
+                print(f"  {finding}")
+        else:
+            print("lint: clean")
+        _, _, report = patch_routine(name, words, labels, optimize=not args.naive)
+        print(
+            f"patch: {report.stores} stores, {report.checked} checked "
+            f"({report.spilled} spilled), {report.elided_stack} elided (stack), "
+            f"{report.elided_rewalk} elided (rewalk); "
+            f"+{report.added_words} words"
+        )
+        print()
+    return 0
+
+
+def cmd_lint(_args) -> int:
+    from repro.isa.analysis import lint_routines
+
+    findings = lint_routines()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("kernel text lint: clean")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -77,12 +133,20 @@ def main(argv: list[str] | None = None) -> int:
     p1.add_argument("--scale", type=int, default=2, help="crashes per cell (paper: 50)")
     sub.add_parser("table2", help="run the performance grid")
     sub.add_parser("mttf", help="the section 3.3 MTTF illustration")
+    pa = sub.add_parser("analyze", help="static analysis of a kernel routine")
+    pa.add_argument("routine", nargs="?", help="routine name (default: all)")
+    pa.add_argument(
+        "--naive", action="store_true", help="show the unoptimized patch plan"
+    )
+    sub.add_parser("lint", help="lint the kernel text (exit 1 on findings)")
     args = parser.parse_args(argv)
     return {
         "demo": cmd_demo,
         "table1": cmd_table1,
         "table2": cmd_table2,
         "mttf": cmd_mttf,
+        "analyze": cmd_analyze,
+        "lint": cmd_lint,
     }[args.command](args)
 
 

@@ -35,12 +35,11 @@ class RioConfig:
     #: Maintain per-buffer detection checksums in the registry (the
     #: experimental apparatus of section 3.2; off for performance runs).
     maintain_checksums: bool = True
-    #: Extra instructions charged per store under code patching.  A
-    #: sandboxing-style check of a 64-bit address against the protected
-    #: ranges (compute effective address, mask, compare bounds, branch)
-    #: costs several instructions even after the optimizations of
-    #: [Wahbe93]; 8 reproduces the paper's 20-50% whole-workload penalty.
-    code_patch_steps_per_store: int = 8
+    #: Run the check-elision optimizer when patching kernel text (drop
+    #: address checks on stores the dataflow analysis proves safe, and
+    #: pick dead scratch registers instead of spilling — the [Wahbe93]
+    #: optimizations).  Off = the naive patch-every-store rewrite.
+    code_patch_optimize: bool = True
 
     @classmethod
     def without_protection(cls, **overrides) -> "RioConfig":

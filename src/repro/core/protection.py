@@ -9,10 +9,15 @@ Three modes:
   write-protecting the KSEG entries.  "Disabling KSEG addresses in this
   manner adds essentially no overhead."
 * ``CODE_PATCHING`` — for CPUs that cannot force physical addresses
-  through the TLB: a check is inserted before every kernel store (the bus
-  store-checker), validating the target against the protected-page tables,
-  at a cost of a few extra instructions per store (measured at 20-50%
-  overall slowdown in the paper).
+  through the TLB: the kernel text is rewritten at install time with an
+  address check in front of every store (see
+  :mod:`repro.isa.analysis.patch`) and executes on the interpreter, at a
+  cost of a few extra instructions per store (measured at 20-50% overall
+  slowdown in the paper).  The inline check guards the *fixed* protected
+  region — the registry frames sequestered at the top of physical memory;
+  pages whose protection toggles dynamically (cache pages inside write
+  windows) are enforced by the bus store-checker, standing in for the
+  patched kernel's protected-page table lookup.
 
 In every mode, legitimate file cache writes happen inside *windows*: the
 page is made writable, written, and re-protected.  "The only time a file
@@ -27,8 +32,10 @@ from contextlib import contextmanager
 from repro.core.config import ProtectionMode, RioConfig
 from repro.errors import ProtectionTrap
 from repro.fs.cache import CachePage
-from repro.hw.bus import AccessContext
+from repro.hw.bus import AccessContext, KERNEL_CONTEXT
 from repro.hw.mmu import KSEG_BASE
+from repro.isa.analysis.patch import CodePatcher, RoutinePatchReport
+from repro.isa.routines import build_kernel_text
 
 
 class ProtectionManager:
@@ -42,6 +49,11 @@ class ProtectionManager:
         # Code-patching bookkeeping: which pages are currently protected.
         self._patched_vpns: set[int] = set()
         self._patched_pfns: set[int] = set()
+        #: Per-routine reports from the binary rewriting pass.
+        self.patch_reports: dict[str, RoutinePatchReport] = {}
+        #: The inline checks' threshold: lowest KSEG address of the
+        #: sequestered registry region.
+        self.patch_threshold: int | None = None
         self.stat_windows = 0
         self.stat_patch_traps = 0
 
@@ -56,10 +68,31 @@ class ProtectionManager:
             # The ABOX control-register bit: map KSEG through the TLB.
             self.kernel.mmu.kseg_through_tlb = True
         else:
-            self.kernel.bus.store_checker = self._check_store
-            self.kernel.klib.store_overhead_steps = self.config.code_patch_steps_per_store
+            self._install_code_patching()
         for pfn in self._registry_pfns:
             self._set_pfn_protected(pfn, True)
+
+    def _install_code_patching(self) -> None:
+        """Rewrite the kernel text with inline store checks.
+
+        Rebuilds the text image through the binary patcher (so every
+        routine thereafter executes on the interpreter — there are no
+        natives for patched text), publishes the protection threshold in
+        a descriptor quadword the interpreter hands to each call in
+        ``gp``, and keeps the bus store-checker for the dynamically
+        protected cache pages.
+        """
+        kernel = self.kernel
+        patcher = CodePatcher(optimize=self.config.code_patch_optimize)
+        kernel.install_kernel_text(build_kernel_text(transform=patcher))
+        self.patch_reports = patcher.reports
+        self.patch_threshold = (
+            KSEG_BASE + min(self._registry_pfns) * kernel.page_size
+        )
+        descriptor = kernel.heap.kmalloc(8)
+        kernel.bus.store_u64(descriptor, self.patch_threshold, KERNEL_CONTEXT)
+        kernel.interp.global_pointer = descriptor
+        kernel.bus.store_checker = self._check_store
 
     # -- primitive protection toggles ---------------------------------------
 

@@ -63,7 +63,16 @@ class ProtectionTrap(SystemCrash):
 
 
 class KernelPanic(SystemCrash):
-    """A kernel consistency (sanity) check failed."""
+    """A kernel consistency (sanity) check failed.
+
+    ``code`` is the numeric error code of the failed check (the immediate
+    of an ISA ``PANIC`` instruction), when one exists — reliability
+    campaigns bucket panics by it instead of parsing message strings.
+    """
+
+    def __init__(self, reason: str = "", code: int | None = None) -> None:
+        super().__init__(reason)
+        self.code = code
 
 
 class WatchdogTimeout(SystemCrash):

@@ -22,7 +22,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import IllegalInstruction, KernelPanic, MachineCheck, WatchdogTimeout
+from repro.errors import (
+    ConfigurationError,
+    IllegalInstruction,
+    KernelPanic,
+    MachineCheck,
+    ProtectionTrap,
+    WatchdogTimeout,
+)
 from repro.hw.bus import AccessContext, KERNEL_CONTEXT, MemoryBus
 from repro.isa.encoding import (
     MASK64,
@@ -33,6 +40,12 @@ from repro.isa.encoding import (
 )
 from repro.isa.text import KernelText, WORD_BYTES
 
+#: The PANIC code the code patcher plants behind its address checks: not a
+#: consistency failure but Rio's protection firing, so the interpreter
+#: raises :class:`~repro.errors.ProtectionTrap` (a corruption *prevented*)
+#: rather than :class:`~repro.errors.KernelPanic`.
+PATCH_TRAP_CODE = 42
+
 #: Error-code → message table for PANIC instructions; gives the campaign the
 #: "distinct kernel consistency error messages" flavour of the paper.
 PANIC_MESSAGES = {
@@ -42,6 +55,7 @@ PANIC_MESSAGES = {
     33: "vnode_scan: vnode chain corrupted",
     34: "vnode_scan: refcount overflow",
     41: "lock: lock order violation",
+    PATCH_TRAP_CODE: "code patch: store to protected address",
     99: "unexpected halt in kernel text",
 }
 
@@ -76,6 +90,9 @@ class Interpreter:
         #: When True, even pristine routines are interpreted (used by tests
         #: and the code-patching overhead bench).
         self.force_interpret = False
+        #: Address of the code patcher's descriptor quadword, loaded into
+        #: ``gp`` (r29) at every call — see :mod:`repro.isa.analysis.patch`.
+        self.global_pointer = 0
 
     def call(
         self,
@@ -86,7 +103,13 @@ class Interpreter:
         max_steps: int | None = None,
     ) -> CallResult:
         """Invoke routine ``name`` with up to six integer arguments."""
-        routine = self.text.routines[name]
+        try:
+            routine = self.text.routines[name]
+        except KeyError:
+            known = ", ".join(sorted(self.text.routines))
+            raise ConfigurationError(
+                f"unknown kernel routine {name!r}; known routines: {known}"
+            ) from None
         args = list(args)
         if len(args) > 6:
             raise ValueError("at most 6 register arguments supported")
@@ -110,6 +133,7 @@ class Interpreter:
         regs = [0] * 32
         for i, arg in enumerate(args):
             regs[16 + i] = arg & MASK64
+        regs[29] = self.global_pointer & MASK64
         regs[30] = sp & MASK64
         sentinel = self.text.sentinel_vaddr
         regs[26] = sentinel
@@ -139,13 +163,22 @@ class Interpreter:
             if op is Op.HALT:
                 if pc == sentinel:
                     return CallResult(value=regs[0], steps=steps, stores=stores, interpreted=True)
-                raise KernelPanic(PANIC_MESSAGES[99])
+                raise KernelPanic(PANIC_MESSAGES[99], code=99)
 
             if op is Op.NOP:
                 pass
             elif op is Op.PANIC:
                 code = inst.imm
-                raise KernelPanic(PANIC_MESSAGES.get(code, f"kernel consistency check #{code}"))
+                if code == PATCH_TRAP_CODE:
+                    # The patcher's inline check fired: the store target
+                    # (still in ``at``) is inside the protected region.
+                    raise ProtectionTrap(
+                        PANIC_MESSAGES[PATCH_TRAP_CODE], address=regs[28]
+                    )
+                raise KernelPanic(
+                    PANIC_MESSAGES.get(code, f"kernel consistency check #{code}"),
+                    code=code,
+                )
             elif op is Op.LDA:
                 set_reg(inst.ra, regs[inst.rb] + sext16(inst.imm))
             elif op is Op.LDB:

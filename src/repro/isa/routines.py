@@ -245,11 +245,11 @@ def _native_cache_copy(bus: MemoryBus, args: list[int], ctx: AccessContext) -> i
     hdr, src, off, length = args[0], args[1], args[2], args[3]
     magic = bus.load_u64(hdr + HDR_MAGIC_OFF, ctx)
     if magic != CACHE_HDR_MAGIC:
-        raise KernelPanic(PANIC_MESSAGES[21])
+        raise KernelPanic(PANIC_MESSAGES[21], code=21)
     dst_base = bus.load_u64(hdr + HDR_DST_OFF, ctx)
     size = bus.load_u64(hdr + HDR_SIZE_OFF, ctx)
     if (off + length) & MASK64 > size:
-        raise KernelPanic(PANIC_MESSAGES[22])
+        raise KernelPanic(PANIC_MESSAGES[22], code=22)
     if length:
         bus.store((dst_base + off) & MASK64, bus.load(src, length, ctx), ctx)
     return length
@@ -283,7 +283,7 @@ def _native_sched_tick(bus: MemoryBus, args: list[int], ctx: AccessContext) -> i
     node = bus.load_u64(args[0], ctx)
     while node:
         if bus.load_u64(node, ctx) != PROC_MAGIC:
-            raise KernelPanic(PANIC_MESSAGES[31])
+            raise KernelPanic(PANIC_MESSAGES[31], code=31)
         bus.store_u64(node + 16, bus.load_u64(node + 16, ctx) + 1, ctx)
         node = bus.load_u64(node + 8, ctx)
     return 0
@@ -295,7 +295,7 @@ def _native_vnode_scan(bus: MemoryBus, args: list[int], ctx: AccessContext) -> i
         node = bus.load_u64(table + 8 * bucket, ctx)
         while node:
             if bus.load_u64(node, ctx) != VNODE_MAGIC:
-                raise KernelPanic(PANIC_MESSAGES[33])
+                raise KernelPanic(PANIC_MESSAGES[33], code=33)
             bus.store_u64(node + 16, bus.load_u64(node + 16, ctx) + 1, ctx)
             node = bus.load_u64(node + 8, ctx)
     return 0
@@ -305,9 +305,18 @@ def _const_steps(value: int):
     return lambda args: value
 
 
-def build_kernel_text() -> KernelText:
-    """Assemble the kernel routine set and register the native fast paths."""
-    text = KernelText(ROUTINE_SOURCES)
+def build_kernel_text(transform=None) -> KernelText:
+    """Assemble the kernel routine set and register the native fast paths.
+
+    With a ``transform`` (e.g. the code patcher) the text is rewritten and
+    **no natives are registered**: rewritten text must actually execute on
+    the interpreter — that is the point of patching it — and the native
+    equivalents would neither run the inserted checks nor charge their
+    cost.
+    """
+    text = KernelText(ROUTINE_SOURCES, transform=transform)
+    if transform is not None:
+        return text
     text.register_native("bcopy", _native_bcopy, _bcopy_steps, _bcopy_stores)
     text.register_native("bzero", _native_bzero, _bzero_steps, _bzero_stores)
     text.register_native(

@@ -45,14 +45,23 @@ class Routine:
         return self.start_index <= word_index < self.start_index + self.num_words
 
 
+#: Signature of a per-routine rewriting pass applied after assembly:
+#: ``transform(name, words, labels) -> (new_words, new_labels)`` with
+#: labels as routine-relative word indices (e.g. the code patcher,
+#: :class:`repro.isa.analysis.patch.CodePatcher`).
+TransformFn = Callable[[str, list, dict], tuple]
+
+
 class KernelText:
     """Assembles routine sources and manages the in-memory text image."""
 
-    def __init__(self, sources: dict[str, str]) -> None:
+    def __init__(self, sources: dict[str, str], transform: TransformFn | None = None) -> None:
         self.words: list[int] = [encode(Instruction(opcode=0, ra=31, rb=31))]  # HALT sentinel
         self.routines: dict[str, Routine] = {}
         for name, source in sources.items():
             body, labels = assemble(source)
+            if transform is not None:
+                body, labels = transform(name, body, labels)
             start = len(self.words)
             self.routines[name] = Routine(
                 name=name,

@@ -157,6 +157,31 @@ class Kernel:
             # Kernel text is mapped read-only, as on a real system.
             self.mmu.map(KTEXT_BASE // self.page_size + i, pfn, writable=False)
 
+    def install_kernel_text(self, text) -> None:
+        """Replace the kernel text image (e.g. with a code-patched build).
+
+        The new image is loaded into freshly allocated contiguous frames
+        and remapped at ``KTEXT_BASE`` before the old frames are released
+        — allocating first keeps the pool's ascending run intact so the
+        contiguity requirement holds.
+        """
+        npages = -(-text.size_bytes // self.page_size)
+        pfns = self.frames.alloc_many(npages)
+        if pfns != list(range(pfns[0], pfns[0] + npages)):
+            raise ConfigurationError("replacement text frames not contiguous")
+        old_pfns = self.regions.text_frames
+        old_npages = len(old_pfns)
+        text.load(self.memory, pfns[0] * self.page_size, KTEXT_BASE)
+        for i, pfn in enumerate(pfns):
+            self.mmu.map(KTEXT_BASE // self.page_size + i, pfn, writable=False)
+        for i in range(npages, old_npages):  # stale tail mappings, if shrinking
+            self.mmu.unmap(KTEXT_BASE // self.page_size + i)
+        self.regions.text_frames = pfns
+        self.text = text
+        self.interp.text = text
+        for pfn in old_pfns:
+            self.frames.free(pfn)
+
     def _boot_region(self, name: str, base: int, npages: int) -> None:
         pfns = self.frames.alloc_many(npages)
         setattr(self.regions, name, pfns)

@@ -7,10 +7,12 @@ paper's high-level faults hook in:
 
 * **copy overrun** — ``bcopy`` consults :attr:`KLib.overrun_hook` and may
   copy more bytes than asked ("modifying the kernel's bcopy procedure to
-  occasionally increase the number of bytes it copies");
-* **code patching cost** — when the protection manager enables the
-  code-patching mode, every store executed costs extra instructions,
-  charged here (the 20-50% slowdown of section 2.1).
+  occasionally increase the number of bytes it copies").
+
+Under code-patching protection the text image itself carries the inserted
+address checks (see :mod:`repro.isa.analysis.patch`), every routine runs
+on the interpreter, and the 20-50% slowdown of section 2.1 emerges from
+the extra instructions actually executed — nothing is surcharged here.
 """
 
 from __future__ import annotations
@@ -38,8 +40,6 @@ class KLib:
         self.ns_per_instruction = ns_per_instruction
         #: Copy-overrun fault hook: ``hook(length) -> possibly larger length``.
         self.overrun_hook: Optional[Callable[[int], int]] = None
-        #: Extra interpreted instructions per store when code patching is on.
-        self.store_overhead_steps = 0
         #: When False (reliability campaigns), no CPU time is charged.
         self.charge_time = True
         self.stat_instructions = 0
@@ -54,7 +54,7 @@ class KLib:
         max_steps: int | None = None,
     ) -> CallResult:
         result = self.interp.call(name, args, ctx=ctx, sp=self.stack_top, max_steps=max_steps)
-        steps = result.steps + result.stores * self.store_overhead_steps
+        steps = result.steps
         self.stat_instructions += steps
         if self.charge_time and steps:
             self.clock.consume(int(steps * self.ns_per_instruction))

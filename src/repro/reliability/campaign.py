@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core import RioConfig
-from repro.errors import FileSystemError, SystemCrash
+from repro.errors import FileSystemError, KernelPanic, SystemCrash
 from repro.faults import FaultInjector, FaultType
 from repro.faults.injector import FaultParams
 from repro.hw.clock import NS_PER_SEC
@@ -76,6 +76,10 @@ class CrashTestResult:
     discarded: bool = False
     crash_kind: str = ""
     crash_reason: str = ""
+    #: The kernel panic's numeric code (``PANIC_MESSAGES`` key), for
+    #: bucketing campaign crashes by panic site; None for non-panic
+    #: crashes and panics raised without a code.
+    panic_code: Optional[int] = None
     ops_run: int = 0
     injected_at_op: int = -1
     memtest_progress: int = 0
@@ -188,6 +192,8 @@ def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
                 system.machine.crash_log[-1].kind if system.machine.crash_log else "panic"
             )
             result.protection_trap = result.crash_kind == "protection_trap"
+            if isinstance(crash, KernelPanic):
+                result.panic_code = crash.code
             break
         except FileSystemError:
             pass  # a failed op (e.g. transient ENOSPC) is not a crash

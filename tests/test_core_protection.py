@@ -70,8 +70,31 @@ class TestCodePatching:
     def test_store_checker_installed(self):
         kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)
         assert kernel.bus.store_checker is not None
-        assert kernel.klib.store_overhead_steps > 0
         assert not kernel.mmu.kseg_through_tlb  # the CPU cannot do it
+
+    def test_patched_text_installed(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        pm = rio.protection
+        # Every routine was rewritten; checked stores carry inline checks.
+        assert set(pm.patch_reports) == set(kernel.text.routines)
+        assert sum(r.checked for r in pm.patch_reports.values()) > 0
+        # Patched text has no native fast paths: everything interprets.
+        for routine in kernel.text.routines.values():
+            assert routine.native is None
+        # The interpreter hands the descriptor to every call in gp.
+        assert kernel.interp.global_pointer != 0
+        assert (
+            kernel.bus.load_u64(kernel.interp.global_pointer)
+            == pm.patch_threshold
+        )
+
+    def test_inline_check_traps_registry_store(self):
+        kernel, rio = make_rio_kernel(ProtectionMode.CODE_PATCHING)
+        target = rio.protection.patch_threshold + 64
+        src = kernel.heap.kmalloc(16)
+        with pytest.raises(ProtectionTrap) as exc:
+            kernel.klib.bcopy(src, target, 16)
+        assert exc.value.address == target
 
     def test_wild_store_trapped_by_check(self):
         kernel, _ = make_rio_kernel(ProtectionMode.CODE_PATCHING)

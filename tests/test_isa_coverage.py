@@ -213,3 +213,30 @@ class TestRegisterConventions:
     def test_too_many_args_rejected(self):
         with pytest.raises(ValueError):
             run_program("ret", [0] * 7)
+
+
+class TestCallErrors:
+    def test_unknown_routine_names_the_known_set(self):
+        from repro.errors import ConfigurationError
+
+        machine = Machine(MachineConfig(memory_bytes=64 * PAGE, boot_time_ns=0))
+        text = KernelText({"prog": "ret"})
+        text.load(machine.memory, PAGE, PAGE)
+        machine.mmu.map(1, 1, writable=False)
+        interp = Interpreter(machine.bus, text)
+        with pytest.raises(ConfigurationError, match="unknown kernel routine 'nope'.*prog"):
+            interp.call("nope", [], sp=15 * PAGE)
+
+    def test_panic_carries_numeric_code(self):
+        from repro.errors import KernelPanic
+
+        with pytest.raises(KernelPanic) as exc:
+            run_program("panic #21")
+        assert exc.value.code == 21
+
+    def test_unexpected_halt_coded_99(self):
+        from repro.errors import KernelPanic
+
+        with pytest.raises(KernelPanic) as exc:
+            run_program("halt")
+        assert exc.value.code == 99

@@ -9,6 +9,7 @@ from repro.disk import DiskParameters, SimulatedDisk
 from repro.kernel.kmalloc import KernelHeap
 from repro.isa.assembler import assemble
 from repro.isa.encoding import decode
+from repro.isa.routines import ROUTINE_SOURCES
 from repro.system import SystemSpec, build_system
 
 PAGE = 8192
@@ -228,3 +229,95 @@ class TestUfsAgainstOracle:
             assert fs.read(ino, 0, len(content) + 10) == content
         listed = {f"/{n}" for n in fs.readdir("/")} - {"/lost+found"}
         assert listed == set(oracle) | dirs
+
+
+# ---------------------------------------------------------------------------
+# Static analysis: the disassembler is the assembler's exact inverse, and
+# the code patcher preserves routine behaviour.
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(sorted(ROUTINE_SOURCES)))
+    def test_disassembly_is_a_fixed_point(self, name):
+        """assemble -> disassemble -> assemble reproduces the exact words."""
+        from repro.isa.analysis import disassemble_words
+
+        words, labels = assemble(ROUTINE_SOURCES[name])
+        dis = disassemble_words(words, labels=labels, name=name)
+        rewords, relabels = assemble(dis.source)
+        assert rewords == words
+        assert relabels == labels
+        # And the fixed point is stable: one more trip changes nothing.
+        assert disassemble_words(rewords, labels=relabels, name=name).source == dis.source
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "lda t0, 8(zero)",
+                    "lda sp, -16(sp)",
+                    "lda sp, 16(sp)",
+                    "addq t0, a1, t2",
+                    "subq a0, t2, t3",
+                    "cmpult t0, a1, t2",
+                    "ldq t3, 0(sp)",
+                    "stq a0, -8(sp)",
+                    "stb t0, 3(a0)",
+                    "ldb t4, 1(a1)",
+                    "bis a0, a1, v0",
+                    "nop",
+                ]
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_random_straightline_roundtrips(self, body):
+        from repro.isa.analysis import disassemble_words
+
+        words, labels = assemble("\n".join(body + ["ret"]))
+        dis = disassemble_words(words, labels=labels)
+        rewords, _ = assemble(dis.source)
+        assert rewords == words
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        data=st.binary(min_size=1, max_size=512),
+        offset=st.integers(0, 96),
+        optimize=st.booleans(),
+    )
+    def test_patched_kernel_text_is_behaviour_identical(self, data, offset, optimize):
+        """A memtest-style copy through plain and patched text ends with
+        byte-identical memory and return values."""
+        from repro.isa import Interpreter, KernelText
+        from repro.isa.analysis import CodePatcher
+
+        heap = 8 * PAGE
+        outcomes = []
+        for transform in (None, CodePatcher(optimize=optimize)):
+            machine = Machine(MachineConfig(memory_bytes=64 * PAGE, boot_time_ns=0))
+            text = KernelText(ROUTINE_SOURCES, transform=transform)
+            text.load(machine.memory, PAGE, PAGE)
+            for i in range(-(-text.size_bytes // PAGE)):
+                machine.mmu.map(1 + i, 1 + i, writable=False)
+            for vpn in range(8, 16):
+                machine.mmu.map(vpn, vpn)
+            interp = Interpreter(machine.bus, text)
+            machine.bus.store_u64(heap + 8 * PAGE - 8, 1 << 62)
+            interp.global_pointer = heap + 8 * PAGE - 8
+            machine.memory.write(heap, data)
+            hdr = heap + 2 * PAGE
+            machine.bus.store_u64(hdr + 0, 0x7B0F)
+            machine.bus.store_u64(hdr + 8, heap + 4 * PAGE)
+            machine.bus.store_u64(hdr + 16, 2 * PAGE)
+            value = interp.call(
+                "cache_copy", [hdr, heap, offset, len(data)], sp=15 * PAGE
+            ).value
+            interp.call("bzero", [heap + 6 * PAGE, 64], sp=15 * PAGE)
+            outcomes.append(
+                (value, machine.memory.read(heap + 4 * PAGE, 2 * PAGE))
+            )
+        assert outcomes[0] == outcomes[1]

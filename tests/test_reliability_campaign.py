@@ -54,6 +54,23 @@ class TestSingleRuns:
         assert a.ops_run == b.ops_run
         assert a.corrupted == b.corrupted
 
+    def test_panic_crash_carries_numeric_code(self):
+        # Heap faults reliably hit a consistency-check panic within a few
+        # seeds; the result must then carry the panic's numeric code.
+        from repro.isa.interpreter import PANIC_MESSAGES
+
+        for seed in range(1, 30):
+            result = run_crash_test(
+                CrashTestConfig(
+                    system="rio_prot", fault_type=FaultType.KERNEL_HEAP, seed=seed
+                )
+            )
+            if result.crash_kind == "panic" and result.panic_code is not None:
+                assert result.panic_code in PANIC_MESSAGES
+                break
+        else:
+            pytest.fail("no coded panic in 29 seeds")
+
     def test_run_result_counts_protection_trap(self):
         # Seed chosen to trigger the trap path (copy overrun, protected).
         for seed in range(20, 40):
