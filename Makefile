@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-full examples table1 table2 clean
+.PHONY: install test lint bench bench-full examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -32,6 +32,13 @@ examples:
 
 table1:
 	$(PY) -m repro table1 --scale 4
+
+# Same campaign through the parallel engine: one worker per CPU, with a
+# resumable checkpoint (interrupt freely; re-run to continue).
+JOBS ?= $(shell $(PY) -c "import os; print(os.cpu_count() or 1)")
+table1-par:
+	PYTHONPATH=src $(PY) -m repro table1 --scale 4 --jobs $(JOBS) \
+		--resume table1-checkpoint.jsonl
 
 table2:
 	$(PY) -m repro table2

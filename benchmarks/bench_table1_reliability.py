@@ -15,7 +15,16 @@ Shape assertions, not absolute numbers:
 * the crash-kind mix is diverse (panics, machine checks, watchdogs).
 """
 
-from repro.reliability import format_table1, run_table1_campaign
+import os
+import time
+
+from repro.faults import FaultType
+from repro.reliability import (
+    CampaignEngine,
+    format_table1,
+    run_table1_campaign,
+    table1_digest,
+)
 from repro.reliability.propagation import format_propagation, summarize_propagation
 
 from _helpers import bench_crashes_per_cell
@@ -70,3 +79,56 @@ def test_table1_campaign(benchmark, record_result):
         kinds.update(cell.crash_kinds)
     assert {"panic", "machine_check"} <= kinds
     assert table.unique_crash_messages() >= 8
+
+
+def test_parallel_campaign_speedup(benchmark, record_result):
+    """The campaign engine vs the serial loop on a 60-crash campaign
+    (3 systems x 5 fault types x 4 counted crashes).
+
+    Two claims: the parallel Table 1 is bit-identical to the serial one
+    (asserted unconditionally), and fanning out to ``RIO_BENCH_JOBS``
+    workers (default 4) cuts wall-clock time — asserted at >= 2x only
+    when the machine actually has >= 4 CPUs; the ratio is recorded
+    either way.
+    """
+    jobs = int(os.environ.get("RIO_BENCH_JOBS", "4"))
+    params = dict(
+        crashes_per_cell=4,
+        systems=("disk", "rio_noprot", "rio_prot"),
+        fault_types=(
+            FaultType.KERNEL_TEXT,
+            FaultType.KERNEL_HEAP,
+            FaultType.DELETE_BRANCH,
+            FaultType.POINTER,
+            FaultType.COPY_OVERRUN,
+        ),
+        base_seed=9000,
+        # Trim the per-trial budget so the survive-and-discard runs don't
+        # dominate; applied identically on both sides.
+        config_overrides=dict(max_ops_after_injection=400, andrew_copies=1),
+    )
+
+    t0 = time.monotonic()
+    serial = run_table1_campaign(**params)
+    serial_s = time.monotonic() - t0
+
+    engine = CampaignEngine(**params, jobs=jobs)
+    parallel = benchmark.pedantic(engine.run, rounds=1, iterations=1)
+    parallel_s = engine.stats.wall_seconds
+
+    assert table1_digest(parallel) == table1_digest(serial), (
+        "parallel campaign diverged from serial"
+    )
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cpus = os.cpu_count() or 1
+    lines = [
+        f"60-crash campaign ({serial.total_crashes('disk') + serial.total_crashes('rio_noprot') + serial.total_crashes('rio_prot')} counted crashes)",
+        f"serial:          {serial_s:8.1f} s",
+        f"engine (jobs={jobs}): {parallel_s:6.1f} s   ({engine.stats.executed} trials run, "
+        f"{engine.stats.wasted_speculation} wasted speculation)",
+        f"speedup:         {speedup:8.2f} x   on {cpus} CPU(s)",
+        f"digests match:   {table1_digest(serial)[:16]}",
+    ]
+    record_result("table1_parallel_speedup", "\n".join(lines))
+    if cpus >= 4 and jobs >= 4:
+        assert speedup >= 2.0, f"expected >=2x speedup on {cpus} CPUs, got {speedup:.2f}x"

@@ -4,6 +4,10 @@ Commands:
 
 * ``demo``    — the quickstart: write, crash, warm reboot, read back.
 * ``table1``  — run the reliability campaign (Table 1) and print it.
+  ``--jobs N`` fans trials out across N worker processes (same output,
+  bit for bit); ``--resume PATH`` checkpoints finished trials to a JSONL
+  journal and resumes from it; ``--systems``/``--faults`` select a
+  subset of the grid.
 * ``table2``  — run the performance grid (Table 2) and print it.
 * ``mttf``    — the section 3.3 MTTF illustration from the paper's rates.
 * ``analyze`` — static analysis of the kernel text: disassembly, CFG,
@@ -39,16 +43,75 @@ def cmd_demo(_args) -> int:
     return 0 if data == b"memory, surviving a crash" else 1
 
 
+def _parse_fault_types(text: str):
+    """CSV of Table 1 row labels ("kernel text") or enum names
+    ("KERNEL_TEXT", case-insensitive)."""
+    from repro.faults.types import FaultType
+
+    faults = []
+    for token in text.split(","):
+        token = token.strip()
+        by_value = {f.value: f for f in FaultType}
+        by_name = {f.name.lower(): f for f in FaultType}
+        fault = by_value.get(token) or by_name.get(token.lower().replace(" ", "_"))
+        if fault is None:
+            known = ", ".join(f.value for f in FaultType)
+            raise SystemExit(f"unknown fault type {token!r}; known: {known}")
+        faults.append(fault)
+    return tuple(faults)
+
+
 def cmd_table1(args) -> int:
-    from repro.reliability import format_table1, run_table1_campaign
+    from repro.faults.types import ALL_FAULT_TYPES
+    from repro.reliability import (
+        SYSTEM_NAMES,
+        CampaignEngine,
+        format_table1,
+        run_table1_campaign,
+    )
 
     crashes = max(1, args.scale)
-    print(f"running the Table 1 campaign ({crashes} crashes/cell; paper used 50) ...")
-    table = run_table1_campaign(
-        crashes_per_cell=crashes,
-        progress=lambda line: print("  " + line, file=sys.stderr),
+    systems = tuple(args.systems.split(",")) if args.systems else SYSTEM_NAMES
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown system {unknown[0]!r}; known: {SYSTEM_NAMES}")
+    fault_types = _parse_fault_types(args.faults) if args.faults else ALL_FAULT_TYPES
+    progress = lambda line: print("  " + line, file=sys.stderr)  # noqa: E731
+    if args.jobs == 1 and args.resume is None:
+        print(f"running the Table 1 campaign ({crashes} crashes/cell; paper used 50) ...")
+        table = run_table1_campaign(
+            crashes_per_cell=crashes,
+            systems=systems,
+            fault_types=fault_types,
+            progress=progress,
+        )
+        print(format_table1(table, systems=systems))
+        return 0
+    print(
+        f"running the Table 1 campaign ({crashes} crashes/cell; paper used 50) "
+        f"on {args.jobs} worker(s)"
+        + (f", checkpointing to {args.resume}" if args.resume else "")
+        + " ..."
     )
-    print(format_table1(table))
+    engine = CampaignEngine(
+        crashes_per_cell=crashes,
+        systems=systems,
+        fault_types=fault_types,
+        jobs=args.jobs,
+        checkpoint=args.resume,
+        progress=progress,
+    )
+    table = engine.run()
+    print(format_table1(table, systems=systems))
+    stats = engine.stats
+    print(
+        f"({stats.executed} trials run, {stats.from_checkpoint} from checkpoint, "
+        f"{stats.worker_crashes} worker crashes, {stats.wall_seconds:.1f}s)",
+        file=sys.stderr,
+    )
+    if not engine.complete:
+        print("campaign incomplete; re-run with --resume to continue", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -131,6 +194,29 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("demo", help="write, crash, warm reboot, read back")
     p1 = sub.add_parser("table1", help="run the reliability campaign")
     p1.add_argument("--scale", type=int, default=2, help="crashes per cell (paper: 50)")
+    p1.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the campaign engine (default 1: serial)",
+    )
+    p1.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint journal: created if missing, resumed if "
+        "present; finished trials are never re-run",
+    )
+    p1.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated subset of disk,rio_noprot,rio_prot (default: all)",
+    )
+    p1.add_argument(
+        "--faults",
+        default=None,
+        help='comma-separated fault types, e.g. "kernel text,pointer" (default: all 13)',
+    )
     sub.add_parser("table2", help="run the performance grid")
     sub.add_parser("mttf", help="the section 3.3 MTTF illustration")
     pa = sub.add_parser("analyze", help="static analysis of a kernel routine")

@@ -24,6 +24,19 @@ from repro.reliability.report import (
     Table1,
     format_table1,
     run_table1_campaign,
+    seed_for,
+    table1_digest,
+)
+from repro.reliability.engine import (
+    CampaignEngine,
+    CampaignWorkerError,
+    EngineStats,
+    run_table1_campaign_parallel,
+)
+from repro.reliability.journal import (
+    CampaignJournal,
+    CampaignResumeError,
+    JournalWarning,
 )
 from repro.reliability.propagation import (
     PropagationSummary,
@@ -41,6 +54,15 @@ __all__ = [
     "Table1",
     "format_table1",
     "run_table1_campaign",
+    "seed_for",
+    "table1_digest",
+    "CampaignEngine",
+    "CampaignWorkerError",
+    "EngineStats",
+    "run_table1_campaign_parallel",
+    "CampaignJournal",
+    "CampaignResumeError",
+    "JournalWarning",
     "PropagationSummary",
     "format_propagation",
     "summarize_propagation",

@@ -13,6 +13,7 @@ The three systems of Table 1:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -67,6 +68,56 @@ class CrashTestConfig:
     inject_after_ops: tuple = (30, 120)
     memtest: MemTestParams = field(default_factory=MemTestParams)
     faults: FaultParams = field(default_factory=FaultParams)
+    #: Keep the recovered ``System`` on the result for white-box
+    #: inspection.  Off by default: a live system is unpicklable, and the
+    #: parallel campaign engine ships results between processes.
+    keep_system: bool = False
+
+    def to_json_dict(self) -> dict:
+        """A pure-JSON description (enums to values, tuples to lists)."""
+        return {
+            "system": self.system,
+            "fault_type": self.fault_type.value,
+            "seed": self.seed,
+            "max_ops_after_injection": self.max_ops_after_injection,
+            "sim_budget_s": self.sim_budget_s,
+            "andrew_copies": self.andrew_copies,
+            "inject_after_ops": list(self.inject_after_ops),
+            "memtest": _params_to_json(self.memtest),
+            "faults": _params_to_json(self.faults),
+            "keep_system": self.keep_system,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CrashTestConfig":
+        data = dict(data)
+        data["fault_type"] = FaultType(data["fault_type"])
+        data["inject_after_ops"] = tuple(data["inject_after_ops"])
+        data["memtest"] = _params_from_json(MemTestParams, data["memtest"])
+        data["faults"] = _params_from_json(FaultParams, data["faults"])
+        return cls(**data)
+
+
+def _params_to_json(params) -> dict:
+    """Dataclass -> JSON dict, tuples down-converted to lists."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in params.__dict__.items()
+    }
+
+
+def _params_from_json(cls, data: dict):
+    """JSON dict -> dataclass, lists restored to tuples where the field
+    default is a tuple (all sequence fields here are)."""
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
 
 
 @dataclass
@@ -92,7 +143,9 @@ class CrashTestResult:
     #: corruption (the paper recorded eight of these).
     protection_trap: bool = False
     fsck_fixes: int = 0
-    #: The recovered System (populated after recovery; tests inspect it).
+    #: The recovered System (populated after recovery only when the
+    #: config sets ``keep_system``; white-box tests inspect it).  Never
+    #: serialized: ``detach``/``__getstate__`` strip it.
     _system: object = None
 
     @property
@@ -103,6 +156,43 @@ class CrashTestResult:
             or self.static_copy_mismatch
             or self.recovery_failed
         )
+
+    def detach(self) -> "CrashTestResult":
+        """Drop the live ``_system`` back-reference; returns ``self``."""
+        self._system = None
+        return self
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_system"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def to_json_dict(self) -> dict:
+        """A pure-JSON description; the journal/worker wire format."""
+        data = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in ("_system", "config", "memtest_problems")
+        }
+        data["config"] = self.config.to_json_dict()
+        data["memtest_problems"] = [
+            {"path": p.path, "problem": p.problem} for p in self.memtest_problems
+        ]
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CrashTestResult":
+        from repro.workloads.memtest import CorruptionRecord
+
+        data = dict(data)
+        data["config"] = CrashTestConfig.from_json_dict(data["config"])
+        data["memtest_problems"] = [
+            CorruptionRecord(**p) for p in data["memtest_problems"]
+        ]
+        return cls(**data)
 
 
 def _setup_static_files(vfs) -> None:
@@ -226,5 +316,6 @@ def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
     except FileSystemError:
         result.recovery_failed = True
     result.static_copy_mismatch = _check_static_files(system.fs)
-    result._system = system  # kept for white-box inspection in tests
+    if config.keep_system:
+        result._system = system  # kept for white-box inspection in tests
     return result

@@ -1,0 +1,645 @@
+"""Parallel fault-injection campaign engine.
+
+The paper crashed a live system 1,950 times for Table 1 ("6
+machine-months").  :func:`repro.reliability.report.run_table1_campaign`
+replays that serially in one process; this engine shards the same
+campaign across a pool of worker processes while keeping the output
+**bit-identical** to the serial path.
+
+How equivalence survives parallelism
+------------------------------------
+
+Every trial is a pure function of its :class:`CrashTestConfig`, and the
+campaign's seed schedule (:func:`repro.reliability.report.seed_for`) is
+a pure function of ``(base_seed, cell, attempt)``.  The only sequential
+coupling in the serial loop is the *stopping rule*: a cell stops once it
+has counted ``crashes_per_cell`` crashes, so whether attempt ``k`` runs
+depends on the outcomes of attempts ``0..k-1``.  The engine therefore:
+
+1. runs attempts **speculatively** out of order across workers (bounded
+   per cell by a speculation window sized to the crashes still needed);
+2. buffers finished results per ``(cell, attempt)``;
+3. **merges** each cell's buffer in attempt order, re-evaluating the
+   serial stopping rule before consuming each attempt — exactly the
+   check the serial loop makes before running it;
+4. discards (as "wasted speculation") any buffered attempt past the
+   point where the serial loop would have stopped.
+
+The merged :class:`Table1` is then identical to the serial one for any
+job count and any completion order; ``results`` lists stay in serial
+order via ``CampaignCell.record(..., order=attempt)``.
+
+Checkpoint / resume
+-------------------
+
+With a ``checkpoint`` path, every finished trial is journaled to JSONL
+(:mod:`repro.reliability.journal`).  On the next run with the same
+campaign parameters, journaled trials complete instantly from the cache
+and only the remainder executes.  Corrupt journal lines are skipped with
+a warning and their trials re-run.
+
+Worker death
+------------
+
+A worker that dies mid-trial (OOM-kill, SIGKILL, a bug that takes down
+the interpreter) is detected by liveness polling; the trial it held is
+recorded as a ``worker_crashed`` outcome and retried once on a fresh
+worker.  If it kills a second worker it is **quarantined**: a synthetic
+discarded result (``crash_kind="worker_crashed"``) takes its slot so the
+campaign can finish, and the key is listed in ``stats.quarantined``.
+(Quarantine is the one case where parallel output can differ from
+serial — the trial genuinely could not be run.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.faults.types import ALL_FAULT_TYPES, FaultType
+from repro.reliability.campaign import (
+    CrashTestConfig,
+    CrashTestResult,
+    SYSTEM_NAMES,
+    _params_to_json,
+    run_crash_test,
+)
+from repro.reliability.journal import CampaignJournal, JournalWarning, TrialKey
+from repro.reliability.report import CampaignCell, Table1, seed_for
+
+
+class CampaignWorkerError(RuntimeError):
+    """A worker hit an exception inside the simulation (a bug, not a
+    simulated crash); determinism means retrying would fail identically,
+    so the campaign aborts loudly."""
+
+
+@dataclass
+class EngineStats:
+    """What one engine invocation did (host-side bookkeeping only —
+    nothing here feeds back into trial outcomes)."""
+
+    executed: int = 0  #: trials actually run this invocation
+    from_checkpoint: int = 0  #: trials satisfied from the journal
+    wasted_speculation: int = 0  #: finished past the serial stopping point
+    worker_crashes: int = 0  #: worker deaths observed
+    quarantined: list = field(default_factory=list)  #: keys given up on
+    checkpoint_lines_skipped: int = 0  #: corrupt journal lines skipped
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class _CellState:
+    """Scheduler-side view of one Table 1 cell."""
+
+    system: str
+    fault_type: FaultType
+    cell: CampaignCell
+    target: int
+    max_attempts: int
+    next_attempt: int = 0  #: next attempt index not yet scheduled
+    merged_upto: int = 0  #: attempts consumed by the serial-order merge
+    done: bool = False  #: serial stopping rule has fired
+    buffer: dict = field(default_factory=dict)  #: attempt -> CrashTestResult
+
+    def key(self, attempt: int) -> TrialKey:
+        return (self.system, self.fault_type.value, attempt)
+
+
+@dataclass
+class _WorkerHandle:
+    proc: multiprocessing.Process
+    #: Shared ``Value('i')``: the task id the worker is executing, -1 if
+    #: idle.  Shared memory, not a queue message: a queue put is flushed
+    #: by a background feeder thread, so a worker killed right after
+    #: claiming could die with the claim unsent — the claim slot write
+    #: is synchronous and survives any death.
+    claim_slot: object = None
+
+
+# -- worker process ----------------------------------------------------------
+
+
+def _test_kill_hook(key: TrialKey) -> None:
+    """Deterministic worker-death injection for the engine's own tests.
+
+    ``RIO_ENGINE_TEST_KILL=system|fault value|attempt|times|counter_dir``
+    kills the worker (hard, no cleanup) the first ``times`` times the
+    named trial is claimed; the cross-process count lives in
+    ``counter_dir`` because each death spawns a fresh worker.
+    """
+    spec = os.environ.get("RIO_ENGINE_TEST_KILL")
+    if not spec:
+        return
+    system, fault, attempt, times, counter_dir = spec.split("|")
+    if key != (system, fault, int(attempt)):
+        return
+    os.makedirs(counter_dir, exist_ok=True)
+    marker = os.path.join(counter_dir, "kills")
+    count = 0
+    if os.path.exists(marker):
+        count = int(open(marker).read() or "0")
+    if count >= int(times):
+        return
+    with open(marker, "w") as fh:
+        fh.write(str(count + 1))
+    os._exit(17)
+
+
+def _worker_main(worker_id: int, task_q, result_q, claim_slot) -> None:
+    """Worker loop: claim a trial, run it, ship the JSON result back.
+
+    The claim-slot write *precedes* execution so the orchestrator knows
+    which trial a dead worker was holding.
+    """
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        task_id, key, config_dict = task
+        claim_slot.value = task_id
+        _test_kill_hook(key)
+        try:
+            config = CrashTestConfig.from_json_dict(config_dict)
+            result = run_crash_test(config)
+            result_q.put(("done", worker_id, key, result.to_json_dict()))
+        except BaseException as exc:  # ship the bug home, don't hang
+            result_q.put(("fail", worker_id, key, f"{type(exc).__name__}: {exc}"))
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class CampaignEngine:
+    """One campaign invocation; see the module docstring for design."""
+
+    #: Worker deaths tolerated per trial before quarantine.
+    worker_retry_limit = 1
+    #: Speculative attempts scheduled per crash still needed (the paper
+    #: discards "about half" of runs, so 2x is the natural oversubscription).
+    speculation = 2
+
+    def __init__(
+        self,
+        crashes_per_cell: int = 10,
+        systems: tuple = SYSTEM_NAMES,
+        fault_types: tuple = ALL_FAULT_TYPES,
+        base_seed: int = 1000,
+        max_attempts_factor: int = 5,
+        config_overrides: Optional[dict] = None,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        max_trials: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        progress_interval_s: float = 5.0,
+    ):
+        self.crashes_per_cell = crashes_per_cell
+        self.systems = tuple(systems)
+        self.fault_types = tuple(fault_types)
+        self.base_seed = base_seed
+        self.max_attempts_factor = max_attempts_factor
+        self.config_overrides = dict(config_overrides or {})
+        self.jobs = max(1, jobs)
+        self.checkpoint = checkpoint
+        self.max_trials = max_trials
+        self.progress = progress
+        self.progress_interval_s = progress_interval_s
+
+        self.stats = EngineStats()
+        self.complete = False
+        self.table = Table1(crashes_per_cell=crashes_per_cell)
+        self._cells = [
+            _CellState(
+                system=system,
+                fault_type=fault,
+                cell=self.table.cell(system, fault),
+                target=crashes_per_cell,
+                max_attempts=crashes_per_cell * max_attempts_factor,
+            )
+            for system in self.systems
+            for fault in self.fault_types
+        ]
+        self._cache: dict = {}
+        self._journal: Optional[CampaignJournal] = None
+        self._outstanding: dict = {}  # key -> (cell state, attempt)
+        self._cancelled: set = set()
+        self._requeue: list = []  # (cell state, attempt) awaiting retry
+        self._retries: dict = {}  # key -> worker-death count
+        self._tid_key: dict = {}  # task id -> key (pool mode)
+        self._next_tid = 0
+        self._scheduled_exec = 0
+        self._budget_stop = False
+        self._rr = 0
+        self._next_wid = 0
+        self._workers: dict = {}
+        self._t0 = 0.0
+        self._last_progress = 0.0
+        self._last_activity = 0.0
+
+    # -- public entry point ------------------------------------------------
+
+    def run(self) -> Table1:
+        self._t0 = self._last_progress = self._last_activity = time.monotonic()
+        if self.checkpoint:
+            self._journal = CampaignJournal(self.checkpoint, self._fingerprint())
+            self._cache = self._journal.load()  # raises on fingerprint mismatch
+            self.stats.checkpoint_lines_skipped = self._journal.skipped_lines
+            self._journal.open_for_append()
+        try:
+            if self.jobs == 1:
+                self._run_inline()
+            else:
+                self._run_pool()
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+        self.stats.wall_seconds = time.monotonic() - self._t0
+        self.complete = all(cs.done for cs in self._cells)
+        self._emit_progress(force=True)
+        return self.table
+
+    # -- shared machinery --------------------------------------------------
+
+    def _fingerprint(self) -> dict:
+        overrides = {}
+        for key, value in sorted(self.config_overrides.items()):
+            if dataclasses.is_dataclass(value):
+                value = _params_to_json(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            overrides[key] = value
+        return {
+            "crashes_per_cell": self.crashes_per_cell,
+            "systems": list(self.systems),
+            "fault_types": [f.value for f in self.fault_types],
+            "base_seed": self.base_seed,
+            "max_attempts_factor": self.max_attempts_factor,
+            "config_overrides": overrides,
+        }
+
+    def _config_json(self, cs: _CellState, attempt: int) -> dict:
+        seed = seed_for(self.base_seed, cs.system, cs.fault_type, attempt)
+        config = CrashTestConfig(
+            system=cs.system,
+            fault_type=cs.fault_type,
+            seed=seed,
+            **self.config_overrides,
+        )
+        return config.to_json_dict()
+
+    def _take_cached(self, cs: _CellState, attempt: int) -> Optional[CrashTestResult]:
+        """Pop and validate a journaled result for this trial, if any."""
+        entry = self._cache.pop(cs.key(attempt), None)
+        if entry is None:
+            return None
+        seed, result_dict = entry
+        expected = seed_for(self.base_seed, cs.system, cs.fault_type, attempt)
+        if seed != expected:
+            warnings.warn(
+                f"checkpoint entry for {cs.key(attempt)} has seed {seed}, "
+                f"campaign expects {expected}; re-running the trial",
+                JournalWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            return CrashTestResult.from_json_dict(result_dict)
+        except Exception as exc:
+            warnings.warn(
+                f"checkpoint entry for {cs.key(attempt)} does not decode "
+                f"({type(exc).__name__}: {exc}); re-running the trial",
+                JournalWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def _may_execute(self) -> bool:
+        return self.max_trials is None or self._scheduled_exec < self.max_trials
+
+    def _merge(self, cs: _CellState) -> None:
+        """Replay the serial loop over buffered attempts, in order.
+
+        Mirrors ``run_table1_campaign``'s ``while cell.crashes < N and
+        attempt < N * factor`` — checked before consuming each attempt,
+        so the cutoff lands on exactly the same attempt index.
+        """
+        was_done = cs.done
+        while True:
+            if not (cs.cell.crashes < cs.target and cs.merged_upto < cs.max_attempts):
+                cs.done = True
+                break
+            result = cs.buffer.pop(cs.merged_upto, None)
+            if result is None:
+                break
+            cs.cell.record(result, order=cs.merged_upto)
+            cs.merged_upto += 1
+        if cs.done and not was_done:
+            self.stats.wasted_speculation += len(cs.buffer)
+            cs.buffer.clear()
+            for key, (other, _attempt) in list(self._outstanding.items()):
+                if other is cs:
+                    self._cancelled.add(key)
+                    del self._outstanding[key]
+            self._emit_cell_line(cs)
+
+    # -- inline (jobs == 1) ------------------------------------------------
+
+    def _run_inline(self) -> None:
+        """Strict serial order, same code path as the pool otherwise:
+        configs and results round-trip through JSON so jobs=1 exercises
+        the identical wire format."""
+        for cs in self._cells:
+            while True:
+                self._merge(cs)
+                if cs.done:
+                    break
+                attempt = cs.next_attempt
+                result = self._take_cached(cs, attempt)
+                if result is None:
+                    if not self._may_execute():
+                        return
+                    self._scheduled_exec += 1
+                    config = CrashTestConfig.from_json_dict(
+                        self._config_json(cs, attempt)
+                    )
+                    result = CrashTestResult.from_json_dict(
+                        run_crash_test(config).to_json_dict()
+                    )
+                    self.stats.executed += 1
+                    if self._journal is not None:
+                        self._journal.append_trial(
+                            cs.key(attempt), config.seed, result.to_json_dict()
+                        )
+                else:
+                    self.stats.from_checkpoint += 1
+                cs.next_attempt = attempt + 1
+                cs.buffer[attempt] = result
+                self._emit_progress()
+
+    # -- worker pool (jobs > 1) --------------------------------------------
+
+    def _run_pool(self) -> None:
+        ctx = multiprocessing.get_context()
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        for _ in range(self.jobs):
+            self._spawn_worker(ctx)
+        try:
+            while not all(cs.done for cs in self._cells):
+                self._dispatch()
+                if self._budget_stop and not self._outstanding:
+                    return
+                if not self._outstanding and not self._requeue:
+                    # nothing in flight and nothing dispatchable: the
+                    # remaining cells completed from cache in _dispatch
+                    continue
+                try:
+                    message = self._result_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    self._check_workers(ctx)
+                    self._emit_progress()
+                    continue
+                self._last_activity = time.monotonic()
+                self._handle(message)
+                self._emit_progress()
+        finally:
+            self._shutdown_pool()
+
+    def _spawn_worker(self, ctx) -> None:
+        wid = self._next_wid
+        self._next_wid += 1
+        claim_slot = ctx.Value("i", -1)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, self._task_q, self._result_q, claim_slot),
+            daemon=True,
+            name=f"rio-campaign-{wid}",
+        )
+        proc.start()
+        self._workers[wid] = _WorkerHandle(proc=proc, claim_slot=claim_slot)
+
+    def _next_task(self) -> Optional[tuple]:
+        """Round-robin over incomplete cells, bounded by each cell's
+        speculation window."""
+        n = len(self._cells)
+        for i in range(n):
+            cs = self._cells[(self._rr + i) % n]
+            if cs.done or cs.next_attempt >= cs.max_attempts:
+                continue
+            window = max(self.speculation * (cs.target - cs.cell.crashes), 1)
+            if cs.next_attempt - cs.merged_upto >= window:
+                continue
+            attempt = cs.next_attempt
+            cs.next_attempt += 1
+            self._rr = (self._rr + i + 1) % n
+            return cs, attempt
+        return None
+
+    def _dispatch(self) -> None:
+        while len(self._outstanding) < self.jobs + 2:
+            if self._requeue:
+                cs, attempt = self._requeue.pop(0)
+                if cs.done:
+                    continue
+            else:
+                task = self._next_task()
+                if task is None:
+                    return
+                cs, attempt = task
+                cached = self._take_cached(cs, attempt)
+                if cached is not None:
+                    self.stats.from_checkpoint += 1
+                    cs.buffer[attempt] = cached
+                    self._merge(cs)
+                    continue
+            if not self._may_execute():
+                self._budget_stop = True
+                return
+            self._scheduled_exec += 1
+            key = cs.key(attempt)
+            tid = self._next_tid
+            self._next_tid += 1
+            self._tid_key[tid] = key
+            self._outstanding[key] = (cs, attempt)
+            self._task_q.put((tid, key, self._config_json(cs, attempt)))
+            self._last_activity = time.monotonic()
+
+    def _handle(self, message: tuple) -> None:
+        kind, wid, key, payload = message
+        if kind == "fail":
+            raise CampaignWorkerError(f"worker exception on trial {key}: {payload}")
+        if kind != "done":
+            return
+        self.stats.executed += 1
+        entry = self._outstanding.pop(key, None)
+        if entry is None:
+            # cancelled after its cell completed, or a retry raced its
+            # original: the work is real but the result is unneeded.
+            self._cancelled.discard(key)
+            self.stats.wasted_speculation += 1
+            return
+        cs, attempt = entry
+        result = CrashTestResult.from_json_dict(payload)
+        if self._journal is not None:
+            self._journal.append_trial(key, result.config.seed, payload)
+        cs.buffer[attempt] = result
+        self._merge(cs)
+
+    def _claimed_key(self, worker: _WorkerHandle) -> Optional[TrialKey]:
+        tid = worker.claim_slot.value
+        return self._tid_key.get(tid) if tid >= 0 else None
+
+    def _check_workers(self, ctx) -> None:
+        for wid, worker in list(self._workers.items()):
+            if worker.proc.is_alive():
+                continue
+            del self._workers[wid]
+            key = self._claimed_key(worker)
+            if key is not None and key in self._outstanding:
+                self._handle_worker_crash(key, "worker died")
+            self._spawn_worker(ctx)
+        self._sweep_lost_tasks()
+
+    def _handle_worker_crash(self, key: TrialKey, why: str) -> None:
+        """One worker-death (or task-loss) strike against a trial:
+        retry up to ``worker_retry_limit`` times, then quarantine —
+        record a synthetic discarded ``worker_crashed`` outcome so the
+        campaign can finish instead of relaunching a worker-killer
+        forever."""
+        self.stats.worker_crashes += 1
+        cs, attempt = self._outstanding.pop(key)
+        count = self._retries.get(key, 0) + 1
+        self._retries[key] = count
+        label = "/".join(map(str, key))
+        if count <= self.worker_retry_limit:
+            self._say(f"{why} on {label} (worker_crashed); retrying once")
+            self._requeue.append((cs, attempt))
+            return
+        self._say(f"{why} again on {label}; quarantining the trial")
+        self.stats.quarantined.append(key)
+        seed = seed_for(self.base_seed, cs.system, cs.fault_type, attempt)
+        synthetic = CrashTestResult(
+            config=CrashTestConfig.from_json_dict(self._config_json(cs, attempt)),
+            discarded=True,
+            crash_kind="worker_crashed",
+            crash_reason=f"trial killed {count} workers; quarantined",
+        )
+        if self._journal is not None:
+            self._journal.append_trial(key, seed, synthetic.to_json_dict())
+        cs.buffer[attempt] = synthetic
+        self._merge(cs)
+
+    def _sweep_lost_tasks(self) -> None:
+        """Strike trials that are outstanding but neither queued nor
+        claimed by any live worker (a worker died in the window between
+        queue get and claim-slot write)."""
+        if not self._outstanding:
+            return
+        if time.monotonic() - self._last_activity < 5.0:
+            return
+        claimed = {self._claimed_key(w) for w in self._workers.values()}
+        lost = [k for k in self._outstanding if k not in claimed]
+        if lost and self._task_q.empty():
+            for key in lost:
+                self._handle_worker_crash(key, "trial lost in flight")
+        self._last_activity = time.monotonic()
+
+    def _shutdown_pool(self) -> None:
+        for worker in self._workers.values():
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+        for worker in self._workers.values():
+            worker.proc.join(timeout=2)
+        for q in (self._task_q, self._result_q):
+            q.cancel_join_thread()
+            q.close()
+        self._workers.clear()
+
+    # -- progress ----------------------------------------------------------
+
+    def _say(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def _emit_cell_line(self, cs: _CellState) -> None:
+        cell = cs.cell
+        self._say(
+            f"{cs.system}/{cs.fault_type.value}: {cell.crashes} crashes, "
+            f"{cell.corruptions} corruptions, {cell.discarded} discarded"
+        )
+
+    def _emit_progress(self, force: bool = False) -> None:
+        if self.progress is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_progress < self.progress_interval_s:
+            return
+        self._last_progress = now
+        crashes = sum(cs.cell.crashes for cs in self._cells)
+        target = sum(cs.target for cs in self._cells)
+        discarded = sum(cs.cell.discarded for cs in self._cells)
+        self._say(
+            f"[engine] {crashes}/{target} crashes counted, {discarded} discarded, "
+            f"{self.stats.worker_crashes} worker-crashed "
+            f"({self.stats.executed} trials run, "
+            f"{self.stats.from_checkpoint} from checkpoint); eta {self._eta()}"
+        )
+
+    def _eta(self) -> str:
+        elapsed = time.monotonic() - self._t0
+        if self.stats.executed == 0 or elapsed <= 0:
+            return "?"
+        throughput = self.stats.executed / elapsed  # trials/s, all workers
+        remaining = 0.0
+        for cs in self._cells:
+            if cs.done:
+                continue
+            needed = cs.target - cs.cell.crashes
+            rate = (
+                cs.cell.crashes / cs.merged_upto if cs.merged_upto else 0.5
+            )  # paper: "about half the time" a run survives and is discarded
+            remaining += min(needed / max(rate, 0.1), cs.max_attempts - cs.merged_upto)
+        return f"~{remaining / throughput:.0f}s"
+
+
+def run_table1_campaign_parallel(
+    crashes_per_cell: int = 10,
+    systems: tuple = SYSTEM_NAMES,
+    fault_types: tuple = ALL_FAULT_TYPES,
+    base_seed: int = 1000,
+    max_attempts_factor: int = 5,
+    config_overrides: Optional[dict] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    max_trials: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    progress_interval_s: float = 5.0,
+) -> Table1:
+    """Drop-in parallel replacement for ``run_table1_campaign``.
+
+    Same parameters plus ``jobs`` (worker processes; 1 = in-process),
+    ``checkpoint`` (JSONL journal path for resume), ``max_trials`` (stop
+    scheduling new trials after this many — an interrupted-campaign
+    budget; the journal keeps what finished).  Output is bit-identical
+    to the serial campaign for the same parameters.
+    """
+    engine = CampaignEngine(
+        crashes_per_cell=crashes_per_cell,
+        systems=systems,
+        fault_types=fault_types,
+        base_seed=base_seed,
+        max_attempts_factor=max_attempts_factor,
+        config_overrides=config_overrides,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        max_trials=max_trials,
+        progress=progress,
+        progress_interval_s=progress_interval_s,
+    )
+    return engine.run()

@@ -9,6 +9,9 @@ in the paper ("this happens about half the time").
 
 from __future__ import annotations
 
+import bisect
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -39,9 +42,27 @@ class CampaignCell:
     protection_trap_saves: int = 0
     crash_kinds: dict = field(default_factory=dict)
     results: list = field(default_factory=list)
+    #: Ordering keys parallel to ``results`` (``record``'s ``order``);
+    #: plain appends sort after every keyed insert.
+    _order_keys: list = field(default_factory=list, repr=False)
 
-    def record(self, result: CrashTestResult) -> None:
-        self.results.append(result)
+    def record(self, result: CrashTestResult, order: Optional[int] = None) -> None:
+        """Count one finished trial.
+
+        ``order`` is the trial's position in the campaign's serial
+        schedule (the attempt index).  The parallel engine records
+        results as workers deliver them — possibly out of order — and the
+        key keeps ``results`` in the exact order the serial campaign
+        would have produced, so formatted tables and digests match
+        bit-for-bit.  The counters are order-independent sums.
+        """
+        if order is None:
+            self.results.append(result)
+            self._order_keys.append(float("inf"))
+        else:
+            at = bisect.bisect_right(self._order_keys, order)
+            self.results.insert(at, result)
+            self._order_keys.insert(at, order)
         if result.discarded:
             self.discarded += 1
             return
@@ -51,6 +72,18 @@ class CampaignCell:
             self.corruptions += 1
         if result.protection_trap:
             self.protection_trap_saves += 1
+
+    def to_json_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "fault_type": self.fault_type.value,
+            "crashes": self.crashes,
+            "corruptions": self.corruptions,
+            "discarded": self.discarded,
+            "protection_trap_saves": self.protection_trap_saves,
+            "crash_kinds": dict(sorted(self.crash_kinds.items())),
+            "results": [r.to_json_dict() for r in self.results],
+        }
 
 
 @dataclass
@@ -89,6 +122,38 @@ class Table1:
                     reasons.add(result.crash_reason)
         return len(reasons)
 
+    def to_json_dict(self) -> dict:
+        """Canonical JSON form: cells sorted by (system, fault value)."""
+        return {
+            "crashes_per_cell": self.crashes_per_cell,
+            "cells": [
+                cell.to_json_dict()
+                for (system, fault), cell in sorted(
+                    self.cells.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+                )
+            ],
+        }
+
+
+def table1_digest(table: Table1) -> str:
+    """SHA-256 over the canonical JSON form.
+
+    Two campaigns over the same seed schedule are equivalent iff their
+    digests match — the serial≡parallel acceptance check.
+    """
+    canon = json.dumps(table.to_json_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def seed_for(base_seed: int, system: str, fault_type: FaultType, attempt: int) -> int:
+    """The campaign's deterministic seed schedule.
+
+    One seed per (cell, attempt); both the serial campaign and the
+    parallel engine draw from this function, which is what makes their
+    outputs comparable at all.
+    """
+    return base_seed + hash_cell(system, fault_type) * 10_000 + attempt
+
 
 def run_table1_campaign(
     crashes_per_cell: int = 10,
@@ -115,7 +180,7 @@ def run_table1_campaign(
                 cell.crashes < crashes_per_cell
                 and attempt < crashes_per_cell * max_attempts_factor
             ):
-                seed = base_seed + hash_cell(system, fault_type) * 10_000 + attempt
+                seed = seed_for(base_seed, system, fault_type, attempt)
                 config = CrashTestConfig(
                     system=system, fault_type=fault_type, seed=seed, **overrides
                 )

@@ -32,7 +32,9 @@ def test_structure_survives_fault_induced_crash(system_name, fault_type):
     crashes_seen = 0
     for seed in range(200, 212):
         result = run_crash_test(
-            CrashTestConfig(system=system_name, fault_type=fault_type, seed=seed)
+            CrashTestConfig(
+                system=system_name, fault_type=fault_type, seed=seed, keep_system=True
+            )
         )
         if not result.crashed or result.recovery_failed:
             continue
