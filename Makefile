@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-full examples table1 table1-par table2 clean
+.PHONY: install test lint bench bench-full bench-interp examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -20,6 +20,11 @@ bench:
 # The paper-scale campaign: 50 counted crashes per Table 1 cell.
 bench-full:
 	RIO_BENCH_CRASHES=50 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Interpreter microbenchmark: hot-path engine vs reference engine
+# (plain timing, no pytest-benchmark needed; fails below RIO_MIN_SPEEDUP).
+bench-interp:
+	PYTHONPATH=src $(PY) -m pytest benchmarks/bench_interpreter.py -q -s
 
 examples:
 	$(PY) examples/quickstart.py

@@ -1,0 +1,133 @@
+"""Interpreter throughput: the hot-path engine vs the reference engine.
+
+Times a store-heavy routine (``bzero``) and a branch-heavy routine
+(``checksum_block``) interpreted on two otherwise-identical machines —
+one with ``fast_path=True``, one with ``False`` — and asserts both that
+the results are bit-identical (CallResult and every BusStats counter)
+and that the speedup clears a floor (``RIO_MIN_SPEEDUP``, default 3.0;
+CI runs a 1.5x smoke so a loaded runner cannot flake the build).
+
+Deliberately uses plain ``perf_counter`` timing rather than the
+pytest-benchmark fixture so it runs in environments without the plugin
+(it is the perf *gate*, not just a report).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from types import SimpleNamespace
+
+from repro.hw import Machine, MachineConfig
+from repro.isa import Interpreter
+from repro.isa.routines import build_kernel_text
+
+
+def build_env(fast_path: bool) -> SimpleNamespace:
+    machine = Machine(
+        MachineConfig(memory_bytes=2 * 1024 * 1024, boot_time_ns=0, fast_path=fast_path)
+    )
+    text = build_kernel_text()
+    page = machine.memory.page_size
+    text_pages = -(-text.size_bytes // page)
+    text.load(machine.memory, base_paddr=1 * page, base_vaddr=1 * page)
+    for i in range(text_pages):
+        machine.mmu.map(1 + i, 1 + i, writable=False)
+    for i in range(8):
+        machine.mmu.map(32 + i, 32 + i)
+    for i in range(2):
+        machine.mmu.map(48 + i, 48 + i)
+    interp = Interpreter(machine.bus, text)
+    interp.force_interpret = True
+    return SimpleNamespace(
+        machine=machine, interp=interp, heap=32 * page, stack_top=50 * page - 64
+    )
+
+
+#: (label, routine, args-as-heap-offsets) — one store-dense, one
+#: branch/ALU-dense, one mixed copy loop.
+WORKLOADS = [
+    ("store-heavy bzero(4096)", "bzero", lambda h: [h, 4096]),
+    ("branch-heavy checksum_block(4096)", "checksum_block", lambda h: [h, 4096]),
+    ("copy loop bcopy(2048)", "bcopy", lambda h: [h, h + 0x1000, 2048]),
+]
+
+
+def _time_call(env, name, args, repeats: int):
+    """Best-of-N wall time for one interpreted call, plus its result."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = env.interp.call(name, args, sp=env.stack_top)
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return result, best
+
+
+def test_interpreter_throughput(record_result):
+    min_speedup = float(os.environ.get("RIO_MIN_SPEEDUP", "3.0"))
+    repeats = int(os.environ.get("RIO_BENCH_REPEATS", "5"))
+    fast, ref = build_env(True), build_env(False)
+    lines = [
+        "Interpreter throughput: hot-path engine vs reference engine",
+        f"(best of {repeats}; floor RIO_MIN_SPEEDUP={min_speedup}x)",
+        "",
+        f"{'workload':38} {'ref instr/s':>12} {'fast instr/s':>13} {'speedup':>8}",
+    ]
+    worst = None
+    for label, name, argf in WORKLOADS:
+        rf, tf = _time_call(fast, name, argf(fast.heap), repeats)
+        rr, tr = _time_call(ref, name, argf(ref.heap), repeats)
+        assert rf == rr, f"{name}: CallResult diverged: {rf} != {rr}"
+        sf, sr = fast.machine.bus.stats, ref.machine.bus.stats
+        assert (sf.loads, sf.stores, sf.bytes_loaded, sf.bytes_stored) == (
+            sr.loads, sr.stores, sr.bytes_loaded, sr.bytes_stored,
+        ), f"{name}: BusStats diverged"
+        speedup = tr / tf
+        worst = speedup if worst is None or speedup < worst else worst
+        lines.append(
+            f"{label:38} {rr.steps / tr:12,.0f} {rf.steps / tf:13,.0f} "
+            f"{speedup:7.2f}x"
+        )
+    lines.append("")
+    lines.append(f"worst-case speedup: {worst:.2f}x (floor {min_speedup}x)")
+    record_result("interpreter_throughput", "\n".join(lines))
+    assert worst >= min_speedup, (
+        f"hot path speedup {worst:.2f}x below the {min_speedup}x floor"
+    )
+
+
+def test_campaign_end_to_end_speedup(record_result, monkeypatch):
+    """A miniature Table 1 campaign with the engine on vs off: digests
+    must match byte-for-byte, and the wall-clock ratio is recorded (the
+    hard perf gate is the microbench above — campaign time includes
+    non-interpreter work, so this one only reports)."""
+    from repro.faults.types import FaultType
+    from repro.reliability.report import run_table1_campaign, table1_digest
+
+    runs = {}
+    for flag in ("1", "0"):
+        monkeypatch.setenv("RIO_FAST_PATH", flag)
+        t0 = time.perf_counter()
+        table = run_table1_campaign(
+            crashes_per_cell=2,
+            systems=("rio_prot",),
+            fault_types=(FaultType.KERNEL_TEXT, FaultType.POINTER),
+            base_seed=1000,
+        )
+        runs[flag] = (table1_digest(table), time.perf_counter() - t0)
+    assert runs["1"][0] == runs["0"][0], "campaign digests diverged"
+    speedup = runs["0"][1] / runs["1"][1]
+    record_result(
+        "campaign_speedup",
+        "\n".join(
+            [
+                "Table 1 mini-campaign (2 crashes/cell, rio_prot, 2 fault types)",
+                f"digest (both engines): {runs['1'][0]}",
+                f"reference engine: {runs['0'][1]:8.2f} s",
+                f"hot-path engine:  {runs['1'][1]:8.2f} s",
+                f"end-to-end speedup: {speedup:.2f}x",
+            ]
+        ),
+    )

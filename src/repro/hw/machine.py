@@ -15,7 +15,8 @@ component across a crash and reboot:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.errors import CrashedMachineError
 from repro.hw.bus import MemoryBus
@@ -37,6 +38,17 @@ class MachineConfig:
     page_size: int = DEFAULT_PAGE_SIZE
     #: Virtual time a (re)boot consumes before the system is usable.
     boot_time_ns: int = 30 * NS_PER_SEC
+    #: Engage the hot-path execution engine (soft TLB + zero-copy word
+    #: accesses on the bus, predecoded kernel text + dispatch table in the
+    #: interpreter).  Observable behaviour is bit-identical either way;
+    #: the reference path exists for differential testing.  The default
+    #: honours the ``RIO_FAST_PATH`` environment variable (``0``/``off``/
+    #: ``false`` disable it) so whole suites can be flipped wholesale.
+    fast_path: bool = field(default_factory=lambda: _fast_path_default())
+
+
+def _fast_path_default() -> bool:
+    return os.environ.get("RIO_FAST_PATH", "1").lower() not in ("0", "off", "false")
 
 
 @dataclass
@@ -75,7 +87,7 @@ class Machine:
         self.crashed = False
         self.crash_log: list[CrashRecord] = []
         self.mmu = MMU(self.memory)
-        self.bus = MemoryBus(self.mmu)
+        self.bus = MemoryBus(self.mmu, fast_path=self.config.fast_path)
         self.bus.attach_crash_check(lambda: self.crashed)
         self.reset_count = 0
 
@@ -122,7 +134,7 @@ class Machine:
             self.memory.erase()
         # CPU state (the MMU, including the ABOX bit) does not survive reset.
         self.mmu = MMU(self.memory)
-        self.bus = MemoryBus(self.mmu)
+        self.bus = MemoryBus(self.mmu, fast_path=self.config.fast_path)
         self.bus.attach_crash_check(lambda: self.crashed)
         for disk in self.disks.values():
             disk.reset()

@@ -32,6 +32,13 @@ class PhysicalMemory:
         self.page_size = page_size
         self.num_pages = size // page_size
         self._pages: dict[int, bytearray] = {}
+        #: Per-frame write-generation counters.  Every mutation of a frame
+        #: (``write``, ``fill``, ``flip_bit``, ``erase``, ``load_image``)
+        #: bumps its counter; the interpreter's predecode cache and other
+        #: derived views key their validity on these.  The list identity is
+        #: stable for the lifetime of the object (hot loops hold a direct
+        #: reference), so it is mutated in place, never rebound.
+        self._page_gens: list[int] = [0] * self.num_pages
 
     # -- page helpers -------------------------------------------------
 
@@ -48,6 +55,12 @@ class PhysicalMemory:
     def page_checksum(self, pfn: int) -> int:
         return fletcher32(self.page(pfn))
 
+    def generation(self, pfn: int) -> int:
+        """Write-generation of frame ``pfn`` (bumped on every mutation)."""
+        if not 0 <= pfn < self.num_pages:
+            raise MachineCheck(f"physical frame {pfn} out of range")
+        return self._page_gens[pfn]
+
     # -- byte-granular access ------------------------------------------
 
     def _check_range(self, addr: int, length: int) -> None:
@@ -61,6 +74,9 @@ class PhysicalMemory:
     def read(self, addr: int, length: int) -> bytes:
         """Hardware-level read of physical bytes (no MMU involved)."""
         self._check_range(addr, length)
+        pfn, off = divmod(addr, self.page_size)
+        if off + length <= self.page_size:  # common case: one frame
+            return bytes(self.page(pfn)[off : off + length])
         out = bytearray()
         while length > 0:
             pfn, off = divmod(addr, self.page_size)
@@ -71,14 +87,24 @@ class PhysicalMemory:
         return bytes(out)
 
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
-        """Hardware-level write of physical bytes (no MMU involved)."""
-        data = bytes(data)
-        self._check_range(addr, len(data))
+        """Hardware-level write of physical bytes (no MMU involved).
+
+        ``bytes``/``bytearray``/``memoryview`` inputs are written without
+        an intermediate ``bytes(data)`` materialisation.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(data)
+        n = len(data)
+        self._check_range(addr, n)
+        gens = self._page_gens
         pos = 0
-        while pos < len(data):
+        while pos < n:
             pfn, off = divmod(addr + pos, self.page_size)
-            take = min(len(data) - pos, self.page_size - off)
-            self.page(pfn)[off : off + take] = data[pos : pos + take]
+            take = min(n - pos, self.page_size - off)
+            self.page(pfn)[off : off + take] = (
+                data if pos == 0 and take == n else data[pos : pos + take]
+            )
+            gens[pfn] += 1
             pos += take
 
     def read_u64(self, addr: int) -> int:
@@ -116,6 +142,9 @@ class PhysicalMemory:
         test suite demonstrate that failure mode.
         """
         self._pages.clear()
+        gens = self._page_gens
+        for pfn in range(len(gens)):  # in place: hot loops alias the list
+            gens[pfn] += 1
 
     def flip_bit(self, addr: int, bit: int) -> None:
         """Flip one bit — the lowest-level corruption primitive."""
@@ -124,3 +153,4 @@ class PhysicalMemory:
             raise ValueError("bit index out of range")
         pfn, off = divmod(addr, self.page_size)
         self.page(pfn)[off] ^= 1 << bit
+        self._page_gens[pfn] += 1

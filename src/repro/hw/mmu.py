@@ -62,10 +62,27 @@ class MMU:
         self.page_size = memory.page_size
         self._page_table: dict[int, PageTableEntry] = {}
         self._kseg_writable: dict[int, bool] = {}
-        self.kseg_through_tlb = False
+        self._kseg_through_tlb = False
+        #: Translation generation: bumped by anything that can change the
+        #: outcome of :meth:`translate` (``map``/``unmap``, writability
+        #: toggles, the ABOX bit).  The memory bus keys its software TLB
+        #: on this counter, so a stale cached translation is never used.
+        self.generation = 0
         #: Counts of protection-relevant events, for the evaluation.
         self.stat_protection_traps = 0
         self.stat_pte_toggles = 0
+
+    @property
+    def kseg_through_tlb(self) -> bool:
+        """The ABOX control bit: force KSEG accesses through the TLB."""
+        return self._kseg_through_tlb
+
+    @kseg_through_tlb.setter
+    def kseg_through_tlb(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._kseg_through_tlb:
+            self._kseg_through_tlb = value
+            self.generation += 1
 
     # -- mapping management --------------------------------------------
 
@@ -74,10 +91,12 @@ class MMU:
         if not 0 <= pfn < self.memory.num_pages:
             raise MachineCheck(f"mapping to nonexistent frame {pfn}")
         self._page_table[vpn] = PageTableEntry(pfn=pfn, writable=writable)
+        self.generation += 1
 
     def unmap(self, vpn: int) -> None:
         """Drop a PTE (subsequent accesses machine-check)."""
-        self._page_table.pop(vpn, None)
+        if self._page_table.pop(vpn, None) is not None:
+            self.generation += 1
 
     def pte_for(self, vpn: int) -> PageTableEntry | None:
         """The PTE mapped at ``vpn``, if any."""
@@ -91,6 +110,7 @@ class MMU:
         if pte.writable != writable:
             pte.writable = writable
             self.stat_pte_toggles += 1
+            self.generation += 1
 
     def set_kseg_writable(self, pfn: int, writable: bool) -> None:
         """Toggle write permission of a physical frame in the KSEG window.
@@ -105,6 +125,7 @@ class MMU:
         if previous != writable:
             self._kseg_writable[pfn] = writable
             self.stat_pte_toggles += 1
+            self.generation += 1
 
     def kseg_writable(self, pfn: int) -> bool:
         """Current KSEG write permission of a frame (default True)."""
@@ -136,7 +157,7 @@ class MMU:
             paddr = vaddr - KSEG_BASE
             if paddr >= self.memory.size:
                 raise MachineCheck(f"KSEG address {vaddr:#x} beyond physical memory")
-            if write and self.kseg_through_tlb:
+            if write and self._kseg_through_tlb:
                 pfn = paddr // self.page_size
                 if not self.kseg_writable(pfn):
                     self.stat_protection_traps += 1

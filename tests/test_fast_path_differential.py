@@ -1,0 +1,148 @@
+"""Differential proof that the fast engine is bit-identical to the
+reference engine.
+
+Two machines are built identically — one with ``fast_path=True``, one with
+``False`` — the same randomly-chosen corruption is applied to both texts,
+the same call is made on both, and *everything observable* is compared:
+the result or the exception (type and message), every ``BusStats``
+counter, the MMU's protection statistics, and the checksums of every
+memory page.  Hypothesis drives the corruption so the comparison covers
+trap paths (illegal opcodes, wild stores, protection traps, watchdogs),
+not just clean runs.
+
+The final test closes the loop at the top of the stack: a miniature
+Table 1 campaign must produce the same digest with the engine on and off.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SystemCrash
+from repro.faults.types import FaultType
+from repro.hw import Machine, MachineConfig
+from repro.isa import Interpreter
+from repro.isa.routines import build_kernel_text
+from repro.reliability.report import run_table1_campaign, table1_digest
+
+
+def build_env(fast_path: bool) -> SimpleNamespace:
+    machine = Machine(
+        MachineConfig(memory_bytes=2 * 1024 * 1024, boot_time_ns=0, fast_path=fast_path)
+    )
+    text = build_kernel_text()
+    page = machine.memory.page_size
+    text_pages = -(-text.size_bytes // page)
+    text.load(machine.memory, base_paddr=1 * page, base_vaddr=1 * page)
+    for i in range(text_pages):
+        machine.mmu.map(1 + i, 1 + i, writable=False)
+    for i in range(8):
+        machine.mmu.map(32 + i, 32 + i)
+    for i in range(2):
+        machine.mmu.map(48 + i, 48 + i)
+    interp = Interpreter(machine.bus, text)
+    interp.force_interpret = True
+    return SimpleNamespace(
+        machine=machine,
+        bus=machine.bus,
+        mmu=machine.mmu,
+        memory=machine.memory,
+        text=text,
+        interp=interp,
+        page=page,
+        heap=32 * page,
+        stack_top=50 * page - 64,
+    )
+
+
+def observe(env, name, args):
+    """Run a call and capture every observable output as plain data."""
+    try:
+        result = env.interp.call(name, args, sp=env.stack_top, max_steps=20_000)
+        outcome = ("ok", result.value, result.steps, result.stores, result.interpreted)
+    except SystemCrash as exc:
+        outcome = ("crash", type(exc).__name__, str(exc))
+    stats = env.bus.stats
+    return (
+        outcome,
+        (stats.loads, stats.stores, stats.bytes_loaded, stats.bytes_stored,
+         stats.checked_stores),
+        (env.mmu.stat_protection_traps, env.mmu.stat_pte_toggles),
+        tuple((p, env.memory.page_checksum(p)) for p in sorted(env.memory._pages)),
+    )
+
+
+ROUTINES = ("bzero", "bcopy", "checksum_block", "cache_copy")
+
+# Addresses: mostly in-heap, sometimes wild (negative, unmapped, KSEG-ish)
+# so trap paths get differential coverage too.
+addr_strategy = st.one_of(
+    st.integers(min_value=32 * 8192, max_value=40 * 8192 - 1),
+    st.integers(min_value=0, max_value=(1 << 44)),
+    st.integers(min_value=-(1 << 20), max_value=-1),
+)
+
+
+@given(
+    routine=st.sampled_from(ROUTINES),
+    args=st.lists(addr_strategy, min_size=2, max_size=4),
+    corrupt=st.one_of(
+        st.none(),
+        st.tuples(st.integers(min_value=0, max_value=200),
+                  st.integers(min_value=0, max_value=(1 << 32) - 1)),
+    ),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_engines_bit_identical(routine, args, corrupt):
+    fast, ref = build_env(True), build_env(False)
+    if corrupt is not None:
+        rel, word = corrupt
+        for env in (fast, ref):
+            r = env.text.routines[routine]
+            env.text.write_word(r.start_index + rel % r.num_words, word)
+    assert observe(fast, routine, args) == observe(ref, routine, args)
+
+
+@given(
+    routine=st.sampled_from(("bzero", "bcopy")),
+    length=st.integers(min_value=0, max_value=400),
+    protect=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_engines_identical_under_protection_toggles(routine, length, protect):
+    """Same comparison with a protection toggle between two calls, so the
+    soft-TLB invalidation path itself is differentially exercised."""
+    fast, ref = build_env(True), build_env(False)
+    observations = []
+    for env in (fast, ref):
+        args = [env.heap, env.heap + 0x2000, length][: 3 if routine == "bcopy" else 2]
+        first = observe(env, routine, args)
+        env.mmu.set_writable(33, not protect)
+        env.mmu.kseg_through_tlb = protect
+        second = observe(env, routine, args)
+        observations.append((first, second))
+    assert observations[0] == observations[1]
+
+
+@pytest.mark.slow
+def test_campaign_digest_identical(monkeypatch):
+    """The acceptance check from the top of the stack: a (small) Table 1
+    campaign digest is byte-identical with the fast path on and off."""
+    digests = {}
+    for flag in ("1", "0"):
+        monkeypatch.setenv("RIO_FAST_PATH", flag)
+        table = run_table1_campaign(
+            crashes_per_cell=2,
+            systems=("rio_prot",),
+            fault_types=(FaultType.KERNEL_TEXT, FaultType.POINTER),
+            base_seed=1000,
+        )
+        digests[flag] = table1_digest(table)
+    assert digests["1"] == digests["0"]
