@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-full bench-interp examples table1 table1-par table2 clean
+.PHONY: install test lint bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -25,6 +25,19 @@ bench-full:
 # (plain timing, no pytest-benchmark needed; fails below RIO_MIN_SPEEDUP).
 bench-interp:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/bench_interpreter.py -q -s
+
+# Flight-recorder smoke: a tiny traced 2-job campaign (disk/pointer
+# corrupts within its first attempts under the default seed schedule),
+# then per-trial crash forensics over the journal it wrote.
+forensics-smoke:
+	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces forensics-smoke.out
+	PYTHONPATH=src $(PY) -m repro table1 --scale 2 --jobs 2 \
+		--systems disk --faults pointer \
+		--resume forensics-smoke.jsonl --trace-corruptions
+	PYTHONPATH=src $(PY) -m repro forensics forensics-smoke.jsonl \
+		| tee forensics-smoke.out
+	grep -q "first divergent store" forensics-smoke.out
+	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces forensics-smoke.out
 
 examples:
 	$(PY) examples/quickstart.py
@@ -50,4 +63,5 @@ table2:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results
+	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -98,6 +98,41 @@ def test_interpreter_throughput(record_result):
     )
 
 
+def test_obs_disabled_overhead_under_5_percent(record_result):
+    """The flight recorder must be free when off: an attached-but-
+    disabled recorder (the default on every Machine) may cost at most 5%
+    against the same machine with the recorder detached outright.  The
+    interpreter hot loop never consults the recorder; the only possible
+    cost is the ``rec is not None and rec.enabled`` guards on trap and
+    MMU-toggle paths."""
+    repeats = int(os.environ.get("RIO_BENCH_REPEATS", "5"))
+    attached, detached = build_env(True), build_env(True)
+    assert attached.machine.recorder is not None
+    assert not attached.machine.recorder.enabled
+    for obj in (detached.machine, detached.machine.mmu, detached.machine.bus):
+        obj.recorder = None
+    lines = [
+        "Flight recorder disabled-overhead (attached-but-off vs detached)",
+        f"(best of {repeats}; budget 5%)",
+        "",
+        f"{'workload':38} {'detached s':>12} {'attached s':>12} {'overhead':>9}",
+    ]
+    worst = None
+    for label, name, argf in WORKLOADS:
+        ra, ta = _time_call(attached, name, argf(attached.heap), repeats)
+        rd, td = _time_call(detached, name, argf(detached.heap), repeats)
+        assert ra == rd, f"{name}: CallResult diverged: {ra} != {rd}"
+        overhead = ta / td - 1.0
+        worst = overhead if worst is None or overhead > worst else worst
+        lines.append(f"{label:38} {td:12.6f} {ta:12.6f} {overhead:8.1%}")
+    lines.append("")
+    lines.append(f"worst-case overhead: {worst:.1%} (budget 5.0%)")
+    record_result("obs_disabled_overhead", "\n".join(lines))
+    assert worst < 0.05, (
+        f"disabled flight recorder costs {worst:.1%}, over the 5% budget"
+    )
+
+
 def test_campaign_end_to_end_speedup(record_result, monkeypatch):
     """A miniature Table 1 campaign with the engine on vs off: digests
     must match byte-for-byte, and the wall-clock ratio is recorded (the

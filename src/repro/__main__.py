@@ -7,7 +7,11 @@ Commands:
   ``--jobs N`` fans trials out across N worker processes (same output,
   bit for bit); ``--resume PATH`` checkpoints finished trials to a JSONL
   journal and resumes from it; ``--systems``/``--faults`` select a
-  subset of the grid.
+  subset of the grid; ``--trace-corruptions`` (needs ``--resume``)
+  records every trial's flight-recorder stream and drops per-corrupting-
+  trial JSONL traces next to the journal.
+* ``forensics`` — per-trial crash forensics over a traced journal:
+  injection -> first divergent store -> crash -> detector evidence.
 * ``table2``  — run the performance grid (Table 2) and print it.
 * ``mttf``    — the section 3.3 MTTF illustration from the paper's rates.
 * ``analyze`` — static analysis of the kernel text: disassembly, CFG,
@@ -76,6 +80,12 @@ def cmd_table1(args) -> int:
     if unknown:
         raise SystemExit(f"unknown system {unknown[0]!r}; known: {SYSTEM_NAMES}")
     fault_types = _parse_fault_types(args.faults) if args.faults else ALL_FAULT_TYPES
+    if args.trace_corruptions and args.resume is None:
+        raise SystemExit(
+            "--trace-corruptions needs --resume PATH: the per-trial traces "
+            "are written next to the checkpoint journal"
+        )
+    overrides = {"trace_events": True} if args.trace_corruptions else None
     progress = lambda line: print("  " + line, file=sys.stderr)  # noqa: E731
     if args.jobs == 1 and args.resume is None:
         print(f"running the Table 1 campaign ({crashes} crashes/cell; paper used 50) ...")
@@ -97,6 +107,7 @@ def cmd_table1(args) -> int:
         crashes_per_cell=crashes,
         systems=systems,
         fault_types=fault_types,
+        config_overrides=overrides,
         jobs=args.jobs,
         checkpoint=args.resume,
         progress=progress,
@@ -112,6 +123,81 @@ def cmd_table1(args) -> int:
     if not engine.complete:
         print("campaign incomplete; re-run with --resume to continue", file=sys.stderr)
         return 3
+    return 0
+
+
+def _result_corrupted(result: dict) -> bool:
+    """Mirror of ``CrashTestResult.corrupted`` over the wire format."""
+    return bool(
+        result.get("memtest_problems")
+        or result.get("checksum_mismatches")
+        or result.get("static_copy_mismatch")
+        or result.get("recovery_failed")
+    )
+
+
+def cmd_forensics(args) -> int:
+    from repro.obs import build_forensic_report, format_forensic_report
+    from repro.reliability.campaign import CrashTestConfig, run_baseline_trace
+    from repro.reliability.journal import read_trials
+
+    try:
+        entries = read_trials(args.journal)
+    except FileNotFoundError:
+        raise SystemExit(f"no such journal: {args.journal}")
+
+    wanted = None
+    if args.trial:
+        parts = args.trial.split("/")
+        if len(parts) < 3:
+            raise SystemExit("--trial wants SYSTEM/FAULT/ATTEMPT")
+        try:
+            wanted = (parts[0], "/".join(parts[1:-1]), int(parts[-1]))
+        except ValueError:
+            raise SystemExit(f"--trial attempt must be an integer, got {parts[-1]!r}")
+
+    def norm(fault: str) -> str:
+        return fault.replace(" ", "_")
+
+    selected = []
+    for key in sorted(entries):
+        system, fault, attempt = key
+        if wanted is not None and (
+            system != wanted[0] or norm(fault) != norm(wanted[1]) or attempt != wanted[2]
+        ):
+            continue
+        _seed, result = entries[key]
+        if wanted is None and not (result.get("crashed") and _result_corrupted(result)):
+            continue
+        selected.append((key, result))
+
+    if wanted is not None and not selected:
+        raise SystemExit(f"trial {args.trial!r} not found in {args.journal}")
+    if not selected:
+        print(f"no corrupting trials in {args.journal}; nothing to report")
+        return 0
+
+    reported = 0
+    for key, result in selected:
+        label = "/".join(map(str, key))
+        events = result.get("trace_events")
+        if events is None:
+            print(f"=== {label}: no event trace (campaign ran without "
+                  "--trace-corruptions); skipping ===\n")
+            continue
+        baseline = None
+        if not args.no_baseline:
+            config = CrashTestConfig.from_json_dict(result["config"])
+            # ops_run + 1 so the baseline fully executes the operation
+            # the faulted run died inside.
+            baseline = run_baseline_trace(config, result.get("ops_run", 0) + 1)
+        report = build_forensic_report(result, events, baseline)
+        print(f"=== {label} ===")
+        print(format_forensic_report(report))
+        print()
+        reported += 1
+    if reported == 0 and wanted is not None:
+        return 1
     return 0
 
 
@@ -217,6 +303,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help='comma-separated fault types, e.g. "kernel text,pointer" (default: all 13)',
     )
+    p1.add_argument(
+        "--trace-corruptions",
+        action="store_true",
+        help="record flight-recorder streams for every trial and write "
+        "per-corrupting-trial JSONL traces next to the --resume journal",
+    )
+    pf = sub.add_parser(
+        "forensics", help="per-trial crash forensics over a traced journal"
+    )
+    pf.add_argument("journal", help="JSONL checkpoint journal from table1 --resume")
+    pf.add_argument(
+        "--trial",
+        default=None,
+        metavar="SYSTEM/FAULT/ATTEMPT",
+        help='one trial to report on, e.g. "rio_noprot/kernel_text/3" '
+        "(default: every corrupting trial)",
+    )
+    pf.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the injection-suppressed baseline re-run and use the "
+        "documented heuristic attribution instead",
+    )
     sub.add_parser("table2", help="run the performance grid")
     sub.add_parser("mttf", help="the section 3.3 MTTF illustration")
     pa = sub.add_parser("analyze", help="static analysis of a kernel routine")
@@ -229,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
     return {
         "demo": cmd_demo,
         "table1": cmd_table1,
+        "forensics": cmd_forensics,
         "table2": cmd_table2,
         "mttf": cmd_mttf,
         "analyze": cmd_analyze,

@@ -92,6 +92,10 @@ class RioGuard(CacheGuard):
         page.registry_slot = None
         self.protection.unprotect_page(page)
 
+    def _recorder(self):
+        rec = getattr(self.kernel, "recorder", None)
+        return rec if rec is not None and rec.enabled else None
+
     def begin_write(self, page: CachePage) -> None:
         window = self.protection.page_window(page)
         window.__enter__()
@@ -104,6 +108,12 @@ class RioGuard(CacheGuard):
             pre_image = self.kernel.memory.read(page.pfn * page_size, page_size)
             self.kernel.memory.write(shadow_pfn * page_size, pre_image)
             self._shadows[page.key] = shadow_pfn
+            rec = self._recorder()
+            if rec is not None:
+                rec.emit(
+                    "shadow", "begin-write",
+                    page=str(page.key), shadow_pfn=shadow_pfn, pfn=page.pfn,
+                )
             self.registry.update_fields(
                 page.registry_slot, phys_addr=shadow_pfn * page_size
             )
@@ -113,6 +123,16 @@ class RioGuard(CacheGuard):
     def end_write(self, page: CachePage) -> None:
         if self.config.maintain_checksums:
             page.checksum = self._page_checksum(page)
+        rec = self._recorder()
+        if rec is not None:
+            # The page-content checksum is engine-independent and is what
+            # lets forensics see *data* divergence at page granularity.
+            rec.emit(
+                "shadow", "end-write",
+                page=str(page.key),
+                shadowed=page.key in self._shadows,
+                checksum=page.checksum,
+            )
         shadow_pfn = self._shadows.pop(page.key, None)
         if shadow_pfn is not None:
             # Atomically point the registry back at the updated original.

@@ -57,11 +57,19 @@ class ProtectionManager:
         self.stat_windows = 0
         self.stat_patch_traps = 0
 
+    def _recorder(self):
+        """The machine's flight recorder, when one is attached and live."""
+        rec = getattr(self.kernel, "recorder", None)
+        return rec if rec is not None and rec.enabled else None
+
     # -- installation ----------------------------------------------------
 
     def install(self, registry_pfns: list[int]) -> None:
         """Engage the mechanism on the booted kernel."""
         self._registry_pfns = list(registry_pfns)
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit("prot", "install", mode=self.mode.name, registry_pfns=len(registry_pfns))
         if self.mode is ProtectionMode.NONE:
             return
         if self.mode is ProtectionMode.VM_KSEG:
@@ -133,6 +141,9 @@ class ProtectionManager:
         disk sector being written at crash time has.
         """
         self.stat_windows += 1
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit("prot", "page-window", page=str(page.key), kind=page.kind)
         self.unprotect_page(page)
         yield
         self.protect_page(page)
@@ -140,6 +151,9 @@ class ProtectionManager:
     @contextmanager
     def registry_window(self):
         self.stat_windows += 1
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit("prot", "registry-window")
         for pfn in self._registry_pfns:
             self._set_pfn_protected(pfn, False)
         yield
@@ -159,6 +173,9 @@ class ProtectionManager:
             for pfn in range(first, last + 1):
                 if pfn in self._patched_pfns:
                     self.stat_patch_traps += 1
+                    rec = self._recorder()
+                    if rec is not None:
+                        rec.emit("trap", "patch", pfn=pfn, address=vaddr)
                     raise ProtectionTrap(
                         f"code patch: store to protected frame {pfn}", address=vaddr
                     )
@@ -168,6 +185,9 @@ class ProtectionManager:
             for vpn in range(first, last + 1):
                 if vpn in self._patched_vpns:
                     self.stat_patch_traps += 1
+                    rec = self._recorder()
+                    if rec is not None:
+                        rec.emit("trap", "patch", vpn=vpn, address=vaddr)
                     raise ProtectionTrap(
                         f"code patch: store to protected page {vpn}", address=vaddr
                     )

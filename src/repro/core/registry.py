@@ -187,6 +187,13 @@ class Registry:
 
     def write_entry(self, entry: RegistryEntry) -> None:
         """Serialize an entry through the protection window."""
+        rec = getattr(self.bus, "recorder", None)
+        if rec is not None and rec.enabled:
+            rec.emit(
+                "registry", "update",
+                slot=entry.slot, flags=entry.flags,
+                phys_addr=entry.phys_addr, checksum=entry.checksum,
+            )
         with self.window():
             self.bus.store(self.entry_vaddr(entry.slot), entry.to_bytes(), _REG_CTX)
 

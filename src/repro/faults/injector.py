@@ -91,6 +91,11 @@ class FaultInjector:
         self._pending_frees: list[tuple[int, int]] = []  # (due_ns, addr)
         self._clock_hooked = False
 
+    def _recorder(self):
+        """The machine's flight recorder, when attached and running."""
+        rec = getattr(self.kernel, "recorder", None)
+        return rec if rec is not None and rec.enabled else None
+
     # -- dispatch ----------------------------------------------------------
 
     def inject(self, fault_type: FaultType) -> InjectionRecord:
@@ -112,6 +117,13 @@ class FaultInjector:
             FaultType.SYNCHRONIZATION: self._inject_synchronization,
         }[fault_type]
         handler(record)
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit(
+                "fault", "inject",
+                fault_type=str(fault_type.value),
+                details=list(record.details),
+            )
         return record
 
     # -- bit flips ---------------------------------------------------------------
@@ -323,6 +335,9 @@ class FaultInjector:
         self._pending_frees = [item for item in self._pending_frees if item[0] > now_ns]
         for _, addr in due:
             if self.kernel.heap.is_live(addr):
+                rec = self._recorder()
+                if rec is not None:
+                    rec.emit("fault", "premature-free", addr=addr)
                 try:
                     self.kernel.heap.kfree(addr)  # the premature free
                 except (SystemCrash, CrashedMachineError):
@@ -349,6 +364,9 @@ class FaultInjector:
                 extra = self.rng.randint(2, 1024)
             else:
                 extra = self.rng.randint(2048, 4096)
+            rec = self._recorder()
+            if rec is not None:
+                rec.emit("fault", "overrun", length=length, extra=extra)
             return length + extra
 
         self.kernel.klib.overrun_hook = hook
@@ -364,6 +382,11 @@ class FaultInjector:
             # only ever land on acquires (acquire/release strictly
             # alternate), and elided releases — the deadlock maker — would
             # never occur.
-            return rng.randrange(interval) == 0
+            elide = rng.randrange(interval) == 0
+            if elide:
+                rec = self._recorder()
+                if rec is not None:
+                    rec.emit("fault", "lock-elision", op=op)
+            return elide
 
         self.kernel.locks.elision_hook = hook

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 from repro.errors import ConfigurationError, KernelPanic, NoSpace
 from repro.fs.types import BLOCK_SIZE, FileId, SECTORS_PER_BLOCK
 from repro.hw.bus import AccessContext
+from repro.util.checksum import fletcher32
 from repro.isa.routines import (
     CACHE_HDR_MAGIC,
     HDR_BYTES,
@@ -113,6 +114,7 @@ class PageCache:
         self.stat_misses = 0
         self.stat_evictions = 0
         self.stat_flushes = 0
+        self._recorder = getattr(kernel, "recorder", None)
 
     # -- subclass hooks ---------------------------------------------------
 
@@ -227,6 +229,13 @@ class PageCache:
         if not data:
             return
         kernel = self.kernel
+        rec = self._recorder
+        if rec is not None and rec.enabled:
+            rec.emit(
+                "cache", "write",
+                page=str(page.key), kind=self.kind,
+                offset=offset, length=len(data),
+            )
         staging = kernel.stage_data(data)
         # No try/finally here on purpose: if the system crashes mid-copy,
         # the protection window stays open and the registry CHANGING flag
@@ -251,6 +260,9 @@ class PageCache:
         leaves the page clean."""
         if len(data) != BLOCK_SIZE:
             raise ConfigurationError("fill requires a whole page")
+        rec = self._recorder
+        if rec is not None and rec.enabled:
+            rec.emit("cache", "fill", page=str(page.key), kind=self.kind)
         self.guard.begin_write(page)
         self.kernel.bus.store(page.vaddr, data, IO_CONTEXT)
         self.guard.end_write(page)
@@ -296,6 +308,15 @@ class PageCache:
         data = kernel.memory.read(page.pfn * BLOCK_SIZE, BLOCK_SIZE)
         generation = page.write_generation
         self.stat_flushes += 1
+        rec = self._recorder
+        if rec is not None and rec.enabled:
+            # The content checksum makes corrupted flushes visible in the
+            # event stream without shipping page images around.
+            rec.emit(
+                "wb", "flush",
+                page=str(page.key), block=page.disk_block,
+                sync=sync, checksum=fletcher32(data),
+            )
 
         def on_complete(_request) -> None:
             live = self.pages.get(page.key)

@@ -24,6 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def _emit(fs, op: str, **payload) -> None:
+    """Emit a ``wb`` policy-decision event when a recorder is running.
+
+    The per-page flush events come from the cache layer; these record
+    *why* a flush happened (threshold, fsync, the 30-second daemon).
+    """
+    rec = getattr(getattr(fs, "kernel", None), "recorder", None)
+    if rec is not None and rec.enabled:
+        rec.emit("wb", op, **payload)
+
+
 class WritePolicy:
     """Base policy: every hook is a no-op; subclasses override."""
 
@@ -43,10 +54,12 @@ class WritePolicy:
         pass
 
     def on_fsync(self, fs, ino: int) -> None:
+        _emit(fs, "fsync", ino=ino)
         fs.flush_file(ino, sync=True)
         fs.flush_metadata(sync=True)
 
     def on_sync(self, fs) -> None:
+        _emit(fs, "sync", policy=self.name)
         fs.flush_data(sync=False)
         fs.flush_metadata(sync=False)
 
@@ -98,6 +111,11 @@ class UFSDefaultPolicy(WritePolicy):
         stream.last_end = offset + length
         stream.accumulated += length
         if stream.accumulated >= self.ASYNC_THRESHOLD or not sequential:
+            _emit(
+                fs, "async-flush",
+                ino=ino,
+                reason="threshold" if sequential else "non-sequential",
+            )
             fs.flush_file(ino, sync=False)
             stream.accumulated = 0
 
@@ -109,6 +127,7 @@ class UFSDefaultPolicy(WritePolicy):
         self._streams.pop(ino, None)
 
     def periodic(self, fs) -> None:
+        _emit(fs, "periodic", policy=self.name)
         fs.flush_data(sync=False)
 
 
@@ -121,6 +140,7 @@ class DelayedPolicy(WritePolicy):
     data_permanent = "after 0-30 seconds, asynchronous"
 
     def periodic(self, fs) -> None:
+        _emit(fs, "periodic", policy=self.name)
         fs.flush_data(sync=False)
         fs.flush_metadata(sync=False)
 
@@ -166,10 +186,12 @@ class AdvFSPolicy(WritePolicy):
             fs.journal_metadata(page)
 
     def on_fsync(self, fs, ino: int) -> None:
+        _emit(fs, "fsync", ino=ino)
         fs.flush_file(ino, sync=True)
         fs.journal_commit()
 
     def periodic(self, fs) -> None:
+        _emit(fs, "periodic", policy=self.name)
         fs.flush_data(sync=False)
         fs.journal_checkpoint()
 

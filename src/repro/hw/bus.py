@@ -34,6 +34,7 @@ every :class:`BusStats` counter identical between the two routes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -66,30 +67,75 @@ StoreChecker = Callable[[int, int, AccessContext], None]
 DEFAULT_TRACE_CAP = 100_000
 
 
-class TraceRing(list):
-    """A bounded access trace: a list that drops its oldest entry once
-    ``cap`` entries are held, counting the drops in :attr:`dropped`.
+class TraceRing:
+    """A bounded access trace: drops its oldest entry once ``cap``
+    entries are held, counting the drops in :attr:`dropped`.
 
-    It *is* a list (so existing ``in`` / ``==`` / slicing idioms keep
-    working); only ``append`` and ``clear`` are ring-aware.
+    Backed by a ``collections.deque(maxlen=cap)`` so eviction is O(1)
+    (the previous list-based version paid ``del self[0]`` — O(n) — per
+    append once full, taxing exactly the long traced runs the cap
+    exists for).  It is deliberately *not* a list subclass: every
+    mutator is ring-aware (``append``, ``extend``, ``+=``), so nothing
+    can silently bypass the cap or the ``dropped`` accounting, while
+    the list-like reads tests rely on (``len``, iteration, indexing,
+    slicing, ``in``, ``== []``) all keep working.
     """
 
+    __slots__ = ("cap", "dropped", "_buf")
+
     def __init__(self, cap: int = DEFAULT_TRACE_CAP) -> None:
-        super().__init__()
         if cap <= 0:
             raise ValueError("trace cap must be positive")
         self.cap = cap
         self.dropped = 0
+        self._buf: deque = deque(maxlen=cap)
+
+    # -- mutators (all ring-aware) --------------------------------------
 
     def append(self, item) -> None:
-        if len(self) >= self.cap:
-            del self[0]
+        if len(self._buf) == self.cap:
             self.dropped += 1
-        list.append(self, item)
+        self._buf.append(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    def __iadd__(self, items) -> "TraceRing":
+        self.extend(items)
+        return self
 
     def clear(self) -> None:
-        list.clear(self)
+        self._buf.clear()
         self.dropped = 0
+
+    # -- list-like reads ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self):
+        return iter(self._buf)
+
+    def __contains__(self, item) -> bool:
+        return item in self._buf
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._buf)[index]
+        return self._buf[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceRing):
+            return list(self._buf) == list(other._buf)
+        if isinstance(other, (list, tuple)):
+            return list(self._buf) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable
+
+    def __repr__(self) -> str:
+        return f"TraceRing({list(self._buf)!r}, cap={self.cap}, dropped={self.dropped})"
 
 
 @dataclass
@@ -109,6 +155,10 @@ class MemoryBus:
         self.mmu = mmu
         self.memory = mmu.memory
         self.stats = BusStats()
+        #: Flight recorder hook (attached by :class:`repro.hw.Machine`);
+        #: components that only hold a bus (e.g. the registry) reach the
+        #: recorder through here.  ``None`` for standalone buses.
+        self.recorder = None
         self.store_checker: Optional[StoreChecker] = None
         self._crashed_check: Callable[[], bool] = lambda: False
         self._tracing = False

@@ -23,6 +23,7 @@ from repro.hw.bus import MemoryBus
 from repro.hw.clock import Clock, NS_PER_SEC
 from repro.hw.memory import DEFAULT_PAGE_SIZE, PhysicalMemory
 from repro.hw.mmu import MMU
+from repro.obs.events import FlightRecorder
 
 
 @dataclass
@@ -86,9 +87,15 @@ class Machine:
         self.disks: dict[str, object] = {}
         self.crashed = False
         self.crash_log: list[CrashRecord] = []
+        #: The flight recorder (see :mod:`repro.obs`): one per machine,
+        #: disabled by default, surviving resets so a single stream spans
+        #: a crash and the warm reboot that recovers from it.
+        self.recorder = FlightRecorder(self.clock)
         self.mmu = MMU(self.memory)
         self.bus = MemoryBus(self.mmu, fast_path=self.config.fast_path)
         self.bus.attach_crash_check(lambda: self.crashed)
+        self.mmu.recorder = self.recorder
+        self.bus.recorder = self.recorder
         self.reset_count = 0
 
     # -- device management ------------------------------------------------
@@ -115,6 +122,12 @@ class Machine:
             return
         self.crashed = True
         self.crash_log.append(CrashRecord(self.clock.now_ns, reason, kind))
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            # ``go_down`` emits the richer classified event (with
+            # panic_code) first; this one marks the machine actually
+            # stopping, after any dying-kernel sync activity.
+            rec.emit("crash", "machine-down", kind=kind, reason=reason)
         for disk in self.disks.values():
             disk.crash()
 
@@ -133,9 +146,13 @@ class Machine:
         if not preserve_memory:
             self.memory.erase()
         # CPU state (the MMU, including the ABOX bit) does not survive reset.
+        # The flight recorder does: it is observer state, not machine state,
+        # and a trial's stream must span the crash and the recovery.
         self.mmu = MMU(self.memory)
         self.bus = MemoryBus(self.mmu, fast_path=self.config.fast_path)
         self.bus.attach_crash_check(lambda: self.crashed)
+        self.mmu.recorder = self.recorder
+        self.bus.recorder = self.recorder
         for disk in self.disks.values():
             disk.reset()
         self.clock.consume(self.config.boot_time_ns)

@@ -63,6 +63,11 @@ class MMU:
         self._page_table: dict[int, PageTableEntry] = {}
         self._kseg_writable: dict[int, bool] = {}
         self._kseg_through_tlb = False
+        #: Flight recorder hook (attached by :class:`repro.hw.Machine`);
+        #: traps and protection toggles are emitted from here so both
+        #: execution engines — whose misses all funnel through
+        #: :meth:`translate` — produce identical event streams.
+        self.recorder = None
         #: Translation generation: bumped by anything that can change the
         #: outcome of :meth:`translate` (``map``/``unmap``, writability
         #: toggles, the ABOX bit).  The memory bus keys its software TLB
@@ -83,6 +88,9 @@ class MMU:
         if value != self._kseg_through_tlb:
             self._kseg_through_tlb = value
             self.generation += 1
+            rec = self.recorder
+            if rec is not None and rec.enabled:
+                rec.emit("mmu", "kseg-tlb", enabled=value)
 
     # -- mapping management --------------------------------------------
 
@@ -111,6 +119,9 @@ class MMU:
             pte.writable = writable
             self.stat_pte_toggles += 1
             self.generation += 1
+            rec = self.recorder
+            if rec is not None and rec.enabled:
+                rec.emit("mmu", "pte-protect", vpn=vpn, writable=writable)
 
     def set_kseg_writable(self, pfn: int, writable: bool) -> None:
         """Toggle write permission of a physical frame in the KSEG window.
@@ -126,10 +137,18 @@ class MMU:
             self._kseg_writable[pfn] = writable
             self.stat_pte_toggles += 1
             self.generation += 1
+            rec = self.recorder
+            if rec is not None and rec.enabled:
+                rec.emit("mmu", "kseg-protect", pfn=pfn, writable=writable)
 
     def kseg_writable(self, pfn: int) -> bool:
         """Current KSEG write permission of a frame (default True)."""
         return self._kseg_writable.get(pfn, True)
+
+    def _emit_machine_check(self, vaddr: int, write: bool, why: str) -> None:
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("trap", "machine-check", address=vaddr, write=write, why=why)
 
     # -- translation -----------------------------------------------------
 
@@ -152,15 +171,20 @@ class MMU:
         hardware/kernel would behave.
         """
         if vaddr < 0:
+            self._emit_machine_check(vaddr, write, "negative")
             raise MachineCheck(f"negative address {vaddr:#x}")
         if self.is_kseg(vaddr):
             paddr = vaddr - KSEG_BASE
             if paddr >= self.memory.size:
+                self._emit_machine_check(vaddr, write, "kseg-beyond")
                 raise MachineCheck(f"KSEG address {vaddr:#x} beyond physical memory")
             if write and self._kseg_through_tlb:
                 pfn = paddr // self.page_size
                 if not self.kseg_writable(pfn):
                     self.stat_protection_traps += 1
+                    rec = self.recorder
+                    if rec is not None and rec.enabled:
+                        rec.emit("trap", "kseg", pfn=pfn, address=vaddr)
                     raise ProtectionTrap(
                         f"store to protected KSEG frame {pfn}", address=vaddr
                     )
@@ -168,9 +192,13 @@ class MMU:
         vpn, offset = divmod(vaddr, self.page_size)
         pte = self._page_table.get(vpn)
         if pte is None or not pte.valid:
+            self._emit_machine_check(vaddr, write, "unmapped")
             raise MachineCheck(f"invalid virtual address {vaddr:#x}")
         if write and not pte.writable:
             self.stat_protection_traps += 1
+            rec = self.recorder
+            if rec is not None and rec.enabled:
+                rec.emit("trap", "protection", vpn=vpn, address=vaddr)
             raise ProtectionTrap(f"store to protected vpn {vpn}", address=vaddr)
         return pte.pfn * self.page_size + offset
 

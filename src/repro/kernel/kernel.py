@@ -98,6 +98,9 @@ class Kernel:
         self.mmu = machine.mmu
         self.bus = machine.bus
         self.clock = machine.clock
+        #: Flight recorder convenience handle (see :mod:`repro.obs`);
+        #: ``None``-safe so hand-rolled machine doubles keep working.
+        self.recorder = getattr(machine, "recorder", None)
         self.config.layout.validate(self.page_size)
 
         layout = self.config.layout
@@ -299,6 +302,14 @@ class Kernel:
         if self.machine.crashed:
             return
         kind = CRASH_KINDS.get(type(exc), "panic")
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit(
+                "crash",
+                kind,
+                reason=str(exc),
+                panic_code=exc.code if isinstance(exc, KernelPanic) else None,
+            )
         if (
             self.config.panic_syncs_dirty
             and not self.reliability_writes_off

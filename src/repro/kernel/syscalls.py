@@ -65,14 +65,27 @@ class VFS:
     def _enter(self) -> None:
         self.kernel.syscall_entered()
 
-    def _run(self, body):
-        """Run a syscall body, converting fatal errors into a machine crash."""
+    def _run(self, body, name: str = "syscall"):
+        """Run a syscall body, converting fatal errors into a machine crash.
+
+        Emits ``syscall`` entry/exit events into the flight recorder when
+        one is attached and running; a body that raises (crash or fs
+        error) leaves no exit event, so an open entry marks the syscall
+        the system died inside.
+        """
+        rec = getattr(self.kernel, "recorder", None)
+        trace = rec is not None and rec.enabled
+        if trace:
+            rec.emit("syscall", name, phase="enter")
         try:
             self._enter()
-            return body()
+            out = body()
         except SystemCrash as exc:
             self.kernel.go_down(exc)
             raise
+        if trace:
+            rec.emit("syscall", name, phase="exit")
+        return out
 
     def _file(self, fd: int) -> OpenFile:
         if fd not in self._files:
@@ -99,7 +112,7 @@ class VFS:
             self._files[fd] = OpenFile(fd=fd, ino=ino, fs=fs)
             return fd
 
-        return self._run(body)
+        return self._run(body, "open")
 
     def creat(self, path: str) -> int:
         """Create (or open an existing) file; returns a descriptor."""
@@ -113,7 +126,7 @@ class VFS:
             del self._files[fd]
             open_file.fs.close_hook(open_file.ino)
 
-        return self._run(body)
+        return self._run(body, "close")
 
     def write(self, fd: int, data: bytes) -> int:
         """Write at the current offset; returns bytes written."""
@@ -127,7 +140,7 @@ class VFS:
                 written += len(chunk)
             return written
 
-        return self._run(body)
+        return self._run(body, "write")
 
     def read(self, fd: int, length: int) -> bytes:
         """Read up to ``length`` bytes from the current offset."""
@@ -137,7 +150,7 @@ class VFS:
             open_file.offset += len(data)
             return data
 
-        return self._run(body)
+        return self._run(body, "read")
 
     def pwrite(self, fd: int, data: bytes, offset: int) -> int:
         """Positional write; the descriptor offset is not moved."""
@@ -150,7 +163,7 @@ class VFS:
                 written += len(chunk)
             return written
 
-        return self._run(body)
+        return self._run(body, "pwrite")
 
     def pread(self, fd: int, length: int, offset: int) -> bytes:
         """Positional read; the descriptor offset is not moved."""
@@ -158,7 +171,7 @@ class VFS:
             open_file = self._file(fd)
             return open_file.fs.read(open_file.ino, offset, length)
 
-        return self._run(body)
+        return self._run(body, "pread")
 
     def lseek(self, fd: int, offset: int, whence: Whence = Whence.SET) -> int:
         """Move the descriptor offset; returns the new offset."""
@@ -175,7 +188,7 @@ class VFS:
             open_file.offset = new
             return new
 
-        return self._run(body)
+        return self._run(body, "lseek")
 
     def fsync(self, fd: int) -> None:
         """Force the file durable — a real disk wait on conventional
@@ -184,7 +197,7 @@ class VFS:
             open_file = self._file(fd)
             open_file.fs.fsync(open_file.ino)
 
-        return self._run(body)
+        return self._run(body, "fsync")
 
     def ftruncate(self, fd: int) -> None:
         """Truncate the open file to zero length."""
@@ -192,24 +205,24 @@ class VFS:
             open_file = self._file(fd)
             open_file.fs.truncate(open_file.ino)
 
-        return self._run(body)
+        return self._run(body, "ftruncate")
 
     # -- path syscalls ----------------------------------------------------------
 
     def unlink(self, path: str) -> None:
         """Remove a name; the file dies with its last name."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.unlink(sub))
+        return self._run(lambda: fs.unlink(sub), "unlink")
 
     def mkdir(self, path: str) -> None:
         """Create a directory."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.mkdir(sub) and None)
+        return self._run(lambda: fs.mkdir(sub) and None, "mkdir")
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.rmdir(sub))
+        return self._run(lambda: fs.rmdir(sub), "rmdir")
 
     def rename(self, old: str, new: str) -> None:
         """Rename within one file system (EXDEV across mounts)."""
@@ -217,17 +230,17 @@ class VFS:
         new_fs, new_sub = self._resolve(new)
         if old_fs is not new_fs:
             raise CrossDevice(f"rename across mounts: {old} -> {new}")
-        return self._run(lambda: old_fs.rename(old_sub, new_sub))
+        return self._run(lambda: old_fs.rename(old_sub, new_sub), "rename")
 
     def symlink(self, target: str, link_path: str) -> None:
         """Create a symbolic link at ``link_path`` pointing to ``target``."""
         fs, sub = self._resolve(link_path)
-        return self._run(lambda: fs.symlink(target, sub) and None)
+        return self._run(lambda: fs.symlink(target, sub) and None, "symlink")
 
     def readlink(self, path: str) -> str:
         """Return a symlink's target without following it."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.readlink(sub))
+        return self._run(lambda: fs.readlink(sub), "readlink")
 
     def link(self, existing: str, new_path: str) -> None:
         """Create a hard link (EXDEV across mounts)."""
@@ -235,22 +248,22 @@ class VFS:
         new_fs, new_sub = self._resolve(new_path)
         if old_fs is not new_fs:
             raise CrossDevice(f"link across mounts: {existing} -> {new_path}")
-        return self._run(lambda: old_fs.link(old_sub, new_sub))
+        return self._run(lambda: old_fs.link(old_sub, new_sub), "link")
 
     def readdir(self, path: str) -> list[str]:
         """List a directory (sorted; "." and ".." omitted)."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.readdir(sub))
+        return self._run(lambda: fs.readdir(sub), "readdir")
 
     def stat(self, path: str):
         """Return the inode/node behind ``path`` (follows symlinks)."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.stat(sub))
+        return self._run(lambda: fs.stat(sub), "stat")
 
     def exists(self, path: str) -> bool:
         """True when ``path`` resolves."""
         fs, sub = self._resolve(path)
-        return self._run(lambda: fs.exists(sub))
+        return self._run(lambda: fs.exists(sub), "exists")
 
     def sync(self) -> None:
         """Flush all mounted file systems per their policies."""
@@ -259,7 +272,7 @@ class VFS:
             for _, fs in self._mounts:
                 fs.sync()
 
-        return self._run(body)
+        return self._run(body, "sync")
 
     @property
     def open_fds(self) -> list[int]:

@@ -1,0 +1,267 @@
+"""Per-trial crash forensics over flight-recorder streams.
+
+Links a crash trial's injection record to the first kernel store it
+influenced, the crash event, and the corruption evidence each detector
+produced.  The rigorous attribution path re-runs the *same* trial
+configuration with injection suppressed (a clean baseline stopped at
+the faulted trial's op count) and diffs the two event streams:
+
+* injector-origin events (kinds ``trial`` and ``fault``) are filtered
+  out of both streams — by construction the baseline has none;
+* events compare on ``(kind, op, payload)``.  ``vtime`` is excluded:
+  after a text-flip the patched/unpatched instruction mix changes
+  interpreted timing, and a timing skew is not data corruption;
+* the first differing position is the **first divergence**, and the
+  first store-class event at or after it is the **first divergent
+  store** — the earliest point where the fault demonstrably reached
+  kernel state (a cache write, a page flush, a registry update, or a
+  trap that *stopped* such a store).
+
+Without a baseline a documented heuristic applies: the first store-class
+event after the injection marker, or the crash event itself when the
+trial died in a trap before touching the cache.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Kinds that only the injected run can contain (filtered before diffing).
+INJECTOR_KINDS = ("trial", "fault")
+
+#: (kind, op) pairs that represent a kernel store reaching — or being
+#: stopped on its way to — file-cache state.
+STORE_EVENT_KEYS = {
+    ("trap", "protection"),
+    ("trap", "kseg"),
+    ("trap", "patch"),
+    ("trap", "machine-check"),
+    ("cache", "write"),
+    ("cache", "fill"),
+    ("wb", "flush"),
+    ("registry", "update"),
+    ("shadow", "end-write"),
+}
+
+
+def _comparable(event: Dict[str, Any]) -> Tuple[str, str, str]:
+    """Diff key for one serialized event: kind, op, canonical payload."""
+    return (
+        event["kind"],
+        event["op"],
+        json.dumps(event.get("payload", {}), sort_keys=True, separators=(",", ":")),
+    )
+
+
+def _filtered(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [e for e in events if e["kind"] not in INJECTOR_KINDS]
+
+
+def first_divergence(
+    events: List[Dict[str, Any]], baseline: List[Dict[str, Any]]
+) -> Tuple[Optional[int], Optional[Dict[str, Any]]]:
+    """First position where the faulted stream departs from the baseline.
+
+    Returns ``(index, event)`` where ``index`` is into the
+    injector-filtered faulted stream and ``event`` is the faulted
+    event at that position (``None`` when the faulted stream ended
+    early — e.g. the crash truncated it while the baseline ran on).
+    Returns ``(None, None)`` for identical streams.
+    """
+    f, b = _filtered(events), _filtered(baseline)
+    for i in range(min(len(f), len(b))):
+        if _comparable(f[i]) != _comparable(b[i]):
+            return i, f[i]
+    if len(f) != len(b):
+        i = min(len(f), len(b))
+        return i, (f[i] if i < len(f) else None)
+    return None, None
+
+
+@dataclass
+class ForensicReport:
+    """The causal chain for one crash trial, ready to format."""
+
+    system: str
+    fault: str
+    seed: int
+    #: the ``trial/inject`` marker event, if the trial got that far
+    injection: Optional[Dict[str, Any]]
+    #: serialized ``fault`` events: what the injector actually did
+    fault_events: List[Dict[str, Any]]
+    #: first event differing from the clean baseline (or heuristic pick)
+    first_divergence: Optional[Dict[str, Any]]
+    #: first store-class event at/after the divergence
+    first_divergent_store: Optional[Dict[str, Any]]
+    #: "baseline-diff" | "heuristic" | "none"
+    divergence_basis: str
+    crash: Optional[Dict[str, Any]]
+    detectors: List[str]
+    events_total: int
+    notes: List[str] = field(default_factory=list)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "fault": self.fault,
+            "seed": self.seed,
+            "injection": self.injection,
+            "fault_events": self.fault_events,
+            "first_divergence": self.first_divergence,
+            "first_divergent_store": self.first_divergent_store,
+            "divergence_basis": self.divergence_basis,
+            "crash": self.crash,
+            "detectors": self.detectors,
+            "events_total": self.events_total,
+            "notes": self.notes,
+        }
+
+
+def _detector_evidence(result: Dict[str, Any]) -> List[str]:
+    """One line per detector that found (or prevented) corruption."""
+    out: List[str] = []
+    problems = result.get("memtest_problems") or []
+    if problems:
+        first = problems[0]
+        out.append(
+            f"memtest: {len(problems)} file problem(s); first: "
+            f"{first.get('path', '?')} — {first.get('problem', '?')}"
+        )
+    mismatches = result.get("checksum_mismatches") or 0
+    if mismatches:
+        out.append(f"registry checksums: {mismatches} mismatched slot(s)")
+    if result.get("static_copy_mismatch"):
+        out.append("static copies: contents differ from pristine originals")
+    if result.get("recovery_failed"):
+        out.append("recovery: warm reboot / fsck could not restore the fs")
+    if result.get("protection_trap"):
+        out.append("protection trap: the wild store was stopped before the cache")
+    return out
+
+
+def _first_store_at_or_after(
+    events: List[Dict[str, Any]], start_index: int
+) -> Optional[Dict[str, Any]]:
+    for ev in events[start_index:]:
+        if (ev["kind"], ev["op"]) in STORE_EVENT_KEYS:
+            return ev
+    return None
+
+
+def build_forensic_report(
+    result: Dict[str, Any],
+    events: List[Dict[str, Any]],
+    baseline: Optional[List[Dict[str, Any]]] = None,
+) -> ForensicReport:
+    """Build the causal-chain report for one serialized trial.
+
+    ``result`` is a ``CrashTestResult.to_json_dict()`` dict (must carry
+    its ``config``), ``events`` the trial's serialized event stream,
+    ``baseline`` the optional injection-suppressed re-run's stream.
+    Pure function of its inputs — unit-testable on synthetic streams.
+    """
+    config = result.get("config") or {}
+    notes: List[str] = []
+
+    injection = next(
+        (e for e in events if e["kind"] == "trial" and e["op"] == "inject"), None
+    )
+    fault_events = [e for e in events if e["kind"] == "fault"]
+    crash = next((e for e in events if e["kind"] == "crash"), None)
+
+    divergence: Optional[Dict[str, Any]] = None
+    divergent_store: Optional[Dict[str, Any]] = None
+    basis = "none"
+
+    if baseline is not None:
+        idx, div = first_divergence(events, baseline)
+        if idx is not None:
+            basis = "baseline-diff"
+            divergence = div
+            divergent_store = _first_store_at_or_after(_filtered(events), idx)
+            if div is None:
+                notes.append(
+                    "faulted stream ended before the baseline's — the crash "
+                    "truncated it; divergence index is the truncation point"
+                )
+        else:
+            notes.append(
+                "event stream identical to the clean baseline — the fault "
+                "never influenced any recorded operation"
+            )
+    elif injection is not None:
+        basis = "heuristic"
+        notes.append(
+            "no baseline: first store-class event after the injection marker "
+            "(the rigorous attribution needs a clean re-run diff)"
+        )
+        start = events.index(injection) + 1
+        trap = next(
+            (
+                e
+                for e in events[start:]
+                if e["kind"] == "trap" and (e["kind"], e["op"]) in STORE_EVENT_KEYS
+            ),
+            None,
+        )
+        divergent_store = trap or _first_store_at_or_after(events, start)
+        divergence = divergent_store
+    else:
+        notes.append("trial crashed before any fault was injected")
+
+    if divergent_store is None and crash is not None and basis != "none":
+        # Trap-flavoured crashes *are* the stopped store.
+        divergent_store = crash
+        notes.append("no store-class event recorded; the crash event stands in")
+
+    return ForensicReport(
+        system=config.get("system", result.get("system", "?")),
+        fault=str(config.get("fault_type", "?")),
+        seed=int(config.get("seed", -1)),
+        injection=injection,
+        fault_events=fault_events,
+        first_divergence=divergence,
+        first_divergent_store=divergent_store,
+        divergence_basis=basis,
+        crash=crash,
+        detectors=_detector_evidence(result),
+        events_total=len(events),
+        notes=notes,
+    )
+
+
+def _fmt_event(ev: Optional[Dict[str, Any]]) -> str:
+    if ev is None:
+        return "(none)"
+    payload = ev.get("payload") or {}
+    body = ", ".join(f"{k}={payload[k]}" for k in sorted(payload))
+    return f"#{ev['seq']} {ev['kind']}/{ev['op']} @{ev['vtime']}ns" + (
+        f" [{body}]" if body else ""
+    )
+
+
+def format_forensic_report(report: ForensicReport) -> str:
+    lines = [
+        f"trial: system={report.system} fault={report.fault} seed={report.seed}",
+        f"  injection:        {_fmt_event(report.injection)}",
+    ]
+    for ev in report.fault_events:
+        lines.append(f"    fault action:   {_fmt_event(ev)}")
+    lines += [
+        f"  first divergence: {_fmt_event(report.first_divergence)}"
+        f" (basis: {report.divergence_basis})",
+        f"  first divergent store: {_fmt_event(report.first_divergent_store)}",
+        f"  crash:            {_fmt_event(report.crash)}",
+    ]
+    if report.detectors:
+        lines.append("  detector evidence:")
+        for line in report.detectors:
+            lines.append(f"    - {line}")
+    else:
+        lines.append("  detector evidence: none (no corruption detected)")
+    for note in report.notes:
+        lines.append(f"  note: {note}")
+    lines.append(f"  events recorded: {report.events_total}")
+    return "\n".join(lines)

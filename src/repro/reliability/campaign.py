@@ -72,10 +72,15 @@ class CrashTestConfig:
     #: inspection.  Off by default: a live system is unpicklable, and the
     #: parallel campaign engine ships results between processes.
     keep_system: bool = False
+    #: Record the flight-recorder event stream for the trial and attach
+    #: it (serialized, with a digest) to the result.  Off by default —
+    #: with it off the recorder stays disabled and results serialize
+    #: exactly as before, so table1 digests are unchanged.
+    trace_events: bool = False
 
     def to_json_dict(self) -> dict:
         """A pure-JSON description (enums to values, tuples to lists)."""
-        return {
+        data = {
             "system": self.system,
             "fault_type": self.fault_type.value,
             "seed": self.seed,
@@ -87,6 +92,12 @@ class CrashTestConfig:
             "faults": _params_to_json(self.faults),
             "keep_system": self.keep_system,
         }
+        # Only serialized when set, so untraced configs — and therefore
+        # table1_digest over untraced campaigns — are byte-identical to
+        # what they were before the flight recorder existed.
+        if self.trace_events:
+            data["trace_events"] = True
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "CrashTestConfig":
@@ -143,6 +154,12 @@ class CrashTestResult:
     #: corruption (the paper recorded eight of these).
     protection_trap: bool = False
     fsck_fixes: int = 0
+    #: Serialized flight-recorder event stream (list of JSON dicts) and
+    #: its digest, populated only when the config sets ``trace_events``.
+    #: Left out of ``to_json_dict`` when None so untraced results (and
+    #: table1 digests) serialize exactly as before.
+    trace_events: Optional[list] = None
+    event_digest: Optional[str] = None
     #: The recovered System (populated after recovery only when the
     #: config sets ``keep_system``; white-box tests inspect it).  Never
     #: serialized: ``detach``/``__getstate__`` strip it.
@@ -176,6 +193,7 @@ class CrashTestResult:
             name: value
             for name, value in self.__dict__.items()
             if name not in ("_system", "config", "memtest_problems")
+            and not (name in ("trace_events", "event_digest") and value is None)
         }
         data["config"] = self.config.to_json_dict()
         data["memtest_problems"] = [
@@ -222,13 +240,37 @@ def _check_static_files(fs) -> bool:
     return contents[0] != contents[1] or contents[0] != expected
 
 
-def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
-    """Execute one fault-injection run end to end."""
+def run_crash_test(
+    config: CrashTestConfig, *, baseline_stop: Optional[int] = None
+) -> CrashTestResult:
+    """Execute one fault-injection run end to end.
+
+    With ``baseline_stop`` set, the run becomes a *forensic baseline*: the
+    fault is never injected (everything else — seeds, workload streams,
+    even the rng draw that picks the injection point — is identical) and
+    the run halts once ``op_index`` reaches the stop.  Diffing a faulted
+    trial's event stream against its baseline's pinpoints the first store
+    the fault influenced.
+    """
+    from repro.obs import events_digest
+
     result = CrashTestResult(config=config)
     rng = DeterministicRandom(config.seed ^ 0xC0FFEE)
     spec = system_spec_for(config.system)
     system = build_system(spec)
     vfs, kernel = system.vfs, system.kernel
+
+    recorder = getattr(system.machine, "recorder", None)
+    if config.trace_events and recorder is not None:
+        recorder.start()
+
+    def finish(res: CrashTestResult) -> CrashTestResult:
+        """Capture the event stream onto the result (all return paths)."""
+        if config.trace_events and recorder is not None:
+            res.trace_events = recorder.to_json_list()
+            res.event_digest = events_digest(res.trace_events)
+            recorder.stop()
+        return res
 
     memtest = MemTest(
         vfs,
@@ -259,14 +301,26 @@ def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
     op_index = 0
 
     while True:
-        if injected:
+        if baseline_stop is not None:
+            if op_index >= baseline_stop:
+                result.discarded = True  # baseline: ran clean to the stop
+                break
+        elif injected:
             if (
                 op_index - inject_at > config.max_ops_after_injection
                 or system.clock.now_ns > deadline_ns
             ):
                 result.discarded = True  # survived the budget: discard
                 break
-        if op_index == inject_at:
+        if baseline_stop is None and op_index == inject_at:
+            if recorder is not None and recorder.enabled:
+                recorder.emit(
+                    "trial",
+                    "inject",
+                    at_op=inject_at,
+                    fault=str(config.fault_type.value),
+                    seed=config.seed,
+                )
             injector.inject(config.fault_type)
             injected = True
             result.injected_at_op = inject_at
@@ -291,19 +345,19 @@ def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
     result.ops_run = op_index
     result.memtest_progress = memtest.progress
     if not result.crashed:
-        return result
+        return finish(result)
 
     # -- recovery ----------------------------------------------------------
     try:
         reboot = system.reboot()
     except Exception:
         result.recovery_failed = True
-        return result
+        return finish(result)
     if reboot.fsck is not None:
         result.fsck_fixes = reboot.fsck.fix_count
         if reboot.fsck.unrecoverable:
             result.recovery_failed = True
-            return result
+            return finish(result)
     if reboot.warm is not None:
         result.checksum_mismatches = len(reboot.warm.checksum_mismatches)
 
@@ -318,4 +372,16 @@ def run_crash_test(config: CrashTestConfig) -> CrashTestResult:
     result.static_copy_mismatch = _check_static_files(system.fs)
     if config.keep_system:
         result._system = system  # kept for white-box inspection in tests
-    return result
+    return finish(result)
+
+
+def run_baseline_trace(config: CrashTestConfig, stop_at_op: int) -> list:
+    """Re-run a trial's exact configuration with injection suppressed.
+
+    Returns the serialized baseline event stream, halted at
+    ``stop_at_op`` (pass the faulted trial's ``ops_run + 1`` so the
+    baseline fully executes the operation the faulted run died inside).
+    """
+    cfg = dataclasses.replace(config, trace_events=True, keep_system=False)
+    res = run_crash_test(cfg, baseline_stop=stop_at_op)
+    return res.trace_events or []

@@ -54,6 +54,7 @@ serial — the trial genuinely could not be run.)
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing
 import os
 import queue as queue_mod
@@ -337,6 +338,7 @@ class CampaignEngine:
             result = cs.buffer.pop(cs.merged_upto, None)
             if result is None:
                 break
+            self._write_trace_artifact(cs, cs.merged_upto, result)
             cs.cell.record(result, order=cs.merged_upto)
             cs.merged_upto += 1
         if cs.done and not was_done:
@@ -347,6 +349,41 @@ class CampaignEngine:
                     self._cancelled.add(key)
                     del self._outstanding[key]
             self._emit_cell_line(cs)
+
+    def _write_trace_artifact(
+        self, cs: _CellState, attempt: int, result: CrashTestResult
+    ) -> None:
+        """Drop a per-corrupting-trial JSONL trace next to the journal.
+
+        Written only for consumed (serial-order-merged) trials that were
+        traced, crashed, *and* corrupted — one ``<checkpoint>.traces/
+        <system>__<fault>__<attempt>.jsonl`` each, a header line followed
+        by one serialized event per line.  ``repro forensics`` reads
+        these back to build per-trial reports.
+        """
+        if (
+            self.checkpoint is None
+            or result.trace_events is None
+            or not result.crashed
+            or not result.corrupted
+        ):
+            return
+        outdir = self.checkpoint + ".traces"
+        os.makedirs(outdir, exist_ok=True)
+        fault = cs.fault_type.value.replace(" ", "_").replace("/", "_")
+        path = os.path.join(outdir, f"{cs.system}__{fault}__{attempt}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            header = {
+                "kind": "trace-header",
+                "system": cs.system,
+                "fault": cs.fault_type.value,
+                "attempt": attempt,
+                "seed": result.config.seed,
+                "event_digest": result.event_digest,
+            }
+            fh.write(json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n")
+            for ev in result.trace_events:
+                fh.write(json.dumps(ev, sort_keys=True, separators=(",", ":")) + "\n")
 
     # -- inline (jobs == 1) ------------------------------------------------
 

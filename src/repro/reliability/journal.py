@@ -55,6 +55,30 @@ def _crc(record: dict) -> str:
     return format(zlib.crc32(_canonical(body).encode()) & 0xFFFFFFFF, "08x")
 
 
+def read_trials(path: str) -> dict:
+    """CRC-checked read of a journal's trial records, sans fingerprint.
+
+    For offline tools (``repro forensics``) that inspect a finished
+    journal rather than resume the campaign that wrote it: the header's
+    fingerprint is ignored instead of validated.  Returns
+    ``{(system, fault, attempt): (seed, result_dict)}`` with the same
+    last-wins dedup and corrupt-line skipping as :meth:`CampaignJournal.load`.
+    """
+    reader = CampaignJournal(path, fingerprint={})
+    entries: dict = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = reader._parse_line(line, lineno)
+            if record is None or record.get("kind") == "header":
+                continue
+            key = (record["system"], record["fault"], record["attempt"])
+            entries[key] = (record["seed"], record["result"])
+    return entries
+
+
 class CampaignJournal:
     """Reader/writer for one campaign's checkpoint file."""
 

@@ -15,6 +15,7 @@ could only gesture at.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 
 from repro.faults.types import FaultType
@@ -39,6 +40,10 @@ class PropagationSummary:
     incubation_ops: dict = field(default_factory=dict)
     #: fault type -> corruption count
     corruptions: dict = field(default_factory=dict)
+    #: fault type -> count of crashed trials where no fault was ever
+    #: injected (``injected_at_op == -1``).  Bucketed separately: such a
+    #: trial has no injection point, so it has no incubation time.
+    uninjected: dict = field(default_factory=dict)
 
     def add(self, fault_type: FaultType, kind: str, ops: int, corrupted: bool) -> None:
         key = (fault_type, kind)
@@ -47,13 +52,30 @@ class PropagationSummary:
         if corrupted:
             self.corruptions[fault_type] = self.corruptions.get(fault_type, 0) + 1
 
+    def add_uninjected(self, fault_type: FaultType) -> None:
+        self.uninjected[fault_type] = self.uninjected.get(fault_type, 0) + 1
+
     def median_incubation(self, fault_type: FaultType) -> int:
-        ops = sorted(self.incubation_ops.get(fault_type, []))
-        return ops[len(ops) // 2] if ops else 0
+        """Median ops from injection to crash, as ``statistics.median_low``.
+
+        ``median_low`` so the statistic is always an *observed* op count:
+        for an even number of samples it returns the lower of the two
+        middle values rather than interpolating a half-operation that no
+        trial actually exhibited.  (The previous ``ops[len(ops) // 2]``
+        returned the *upper* middle element — not any accepted median.)
+        """
+        ops = self.incubation_ops.get(fault_type, [])
+        return statistics.median_low(ops) if ops else 0
 
 
 def summarize_propagation(table: Table1, system: str) -> PropagationSummary:
-    """Build the propagation summary for one system of a campaign."""
+    """Build the propagation summary for one system of a campaign.
+
+    Crashed trials whose fault was never injected (``injected_at_op ==
+    -1``) carry no injection-to-crash information; they are counted in
+    :attr:`PropagationSummary.uninjected` instead of polluting the
+    incubation distribution with their whole run length.
+    """
     summary = PropagationSummary()
     for (cell_system, fault_type), cell in table.cells.items():
         if cell_system != system:
@@ -61,7 +83,10 @@ def summarize_propagation(table: Table1, system: str) -> PropagationSummary:
         for result in cell.results:
             if not result.crashed:
                 continue
-            incubation = result.ops_run - max(0, result.injected_at_op)
+            if result.injected_at_op < 0:
+                summary.add_uninjected(fault_type)
+                continue
+            incubation = result.ops_run - result.injected_at_op
             summary.add(
                 fault_type,
                 result.crash_kind,
@@ -89,4 +114,9 @@ def format_propagation(summary: PropagationSummary) -> str:
         row += str(summary.corruptions.get(fault, 0)).rjust(10)
         row += str(summary.median_incubation(fault)).rjust(12)
         lines.append(row)
+    if summary.uninjected:
+        total = sum(summary.uninjected.values())
+        lines.append(
+            f"(excluded: {total} crashed trial(s) with no fault injected)"
+        )
     return "\n".join(lines)

@@ -193,6 +193,31 @@ class TestTraceRing:
         with pytest.raises(ValueError):
             TraceRing(cap=0)
 
+    def test_extend_is_ring_aware(self):
+        ring = TraceRing(cap=3)
+        ring.extend(range(5))
+        assert list(ring) == [2, 3, 4]
+        assert ring.dropped == 2
+
+    def test_iadd_is_ring_aware(self):
+        ring = TraceRing(cap=2)
+        ring.append(0)
+        ring += [1, 2, 3]
+        assert isinstance(ring, TraceRing)
+        assert list(ring) == [2, 3]
+        assert ring.dropped == 2
+
+    def test_listlike_reads(self):
+        ring = TraceRing(cap=4)
+        ring.extend([1, 2, 3])
+        assert ring[0] == 1 and ring[-1] == 3
+        assert ring[1:] == [2, 3]
+        assert 2 in ring and 9 not in ring
+        assert len(ring) == 3
+        assert list(iter(ring)) == [1, 2, 3]
+        assert ring == [1, 2, 3]
+        assert ring != [1, 2]
+
     def test_enable_tracing_rebounds_ring(self, xenv):
         env = xenv
         env.bus.enable_tracing(True, cap=4)

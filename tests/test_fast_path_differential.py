@@ -131,6 +131,46 @@ def test_engines_identical_under_protection_toggles(routine, length, protect):
     assert observations[0] == observations[1]
 
 
+def test_obs_streams_identical_across_engines(monkeypatch):
+    """Tentpole acceptance: a traced corrupting crash trial produces
+    byte-identical flight-recorder streams — and therefore identical
+    digests and forensic reports — under both execution engines."""
+    from repro.obs import build_forensic_report, format_forensic_report
+    from repro.reliability.campaign import (
+        CrashTestConfig,
+        run_baseline_trace,
+        run_crash_test,
+    )
+
+    outputs = {}
+    for flag in ("1", "0"):
+        monkeypatch.setenv("RIO_FAST_PATH", flag)
+        config = CrashTestConfig(
+            system="rio_noprot",
+            fault_type=FaultType.POINTER,
+            seed=12,
+            trace_events=True,
+        )
+        result = run_crash_test(config)
+        assert result.crashed and result.corrupted
+        assert result.trace_events and result.event_digest
+        baseline = run_baseline_trace(result.config, result.ops_run + 1)
+        report = build_forensic_report(
+            result.to_json_dict(), result.trace_events, baseline
+        )
+        assert report.divergence_basis == "baseline-diff"
+        assert report.first_divergent_store is not None
+        assert report.crash is not None
+        outputs[flag] = (
+            result.event_digest,
+            result.trace_events,
+            format_forensic_report(report),
+        )
+    assert outputs["1"][0] == outputs["0"][0]
+    assert outputs["1"][1] == outputs["0"][1]  # event streams, byte for byte
+    assert outputs["1"][2] == outputs["0"][2]  # rendered forensic reports
+
+
 @pytest.mark.slow
 def test_campaign_digest_identical(monkeypatch):
     """The acceptance check from the top of the stack: a (small) Table 1

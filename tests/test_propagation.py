@@ -17,11 +17,63 @@ class TestSummary:
         summary.add(FaultType.POINTER, "panic", 5, True)
         assert summary.matrix[(FaultType.POINTER, "machine_check")] == 3
         assert summary.matrix[(FaultType.POINTER, "panic")] == 1
-        assert summary.median_incubation(FaultType.POINTER) == 20
+        # Sorted samples are [5, 10, 20, 50]: even length, so median_low
+        # is the lower middle element (the old code returned the upper).
+        assert summary.median_incubation(FaultType.POINTER) == 10
         assert summary.corruptions[FaultType.POINTER] == 1
+
+    def test_median_odd_parity(self):
+        summary = PropagationSummary()
+        for ops in (50, 10, 20):
+            summary.add(FaultType.POINTER, "machine_check", ops, False)
+        assert summary.median_incubation(FaultType.POINTER) == 20
+
+    def test_median_even_parity_is_lower_middle(self):
+        summary = PropagationSummary()
+        for ops in (40, 10, 30, 20):
+            summary.add(FaultType.POINTER, "machine_check", ops, False)
+        # median_low keeps the statistic an *observed* op count (20)
+        # rather than interpolating 25, and never the upper element (30).
+        assert summary.median_incubation(FaultType.POINTER) == 20
 
     def test_empty_median(self):
         assert PropagationSummary().median_incubation(FaultType.POINTER) == 0
+
+    def test_uninjected_bucket(self):
+        summary = PropagationSummary()
+        summary.add_uninjected(FaultType.POINTER)
+        summary.add_uninjected(FaultType.POINTER)
+        assert summary.uninjected[FaultType.POINTER] == 2
+        assert summary.incubation_ops == {}
+
+
+class TestUninjectedCrashes:
+    def test_summarize_excludes_uninjected_trials(self):
+        """A trial that crashed before its injection point (e.g. a latent
+        bug) has injected_at_op == -1; it must not contribute ops_run -
+        (-1) to the incubation distribution (the old behavior)."""
+        from repro.reliability.campaign import CrashTestConfig, CrashTestResult
+        from repro.reliability.report import Table1
+
+        table = Table1(crashes_per_cell=2)
+        cell = table.cell("rio_prot", FaultType.POINTER)
+        config = CrashTestConfig(system="rio_prot", fault_type=FaultType.POINTER)
+        uninjected = CrashTestResult(
+            config=config, crashed=True, crash_kind="panic",
+            ops_run=37, injected_at_op=-1,
+        )
+        normal = CrashTestResult(
+            config=config, crashed=True, crash_kind="machine_check",
+            ops_run=50, injected_at_op=40,
+        )
+        cell.record(uninjected, order=0)
+        cell.record(normal, order=1)
+        summary = summarize_propagation(table, "rio_prot")
+        assert summary.uninjected[FaultType.POINTER] == 1
+        assert summary.incubation_ops[FaultType.POINTER] == [10]
+        assert summary.median_incubation(FaultType.POINTER) == 10
+        text = format_propagation(summary)
+        assert "no fault injected" in text
 
 
 class TestEndToEnd:
