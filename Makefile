@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -13,6 +13,15 @@ test:
 # Static-analysis lint over every kernel routine; fails on any finding.
 lint:
 	PYTHONPATH=src $(PY) -m repro lint
+
+# Docstring-coverage gate over the gated packages (see the script).
+docstrings:
+	$(PY) scripts/check_docstrings.py
+
+# The file service under a crash storm: 16 clients, 3 mid-traffic
+# kernel crashes, exit 1 if a single acknowledged op is lost.
+serve-smoke:
+	PYTHONPATH=src $(PY) -m repro serve --clients 16 --crashes 3
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -45,6 +54,7 @@ examples:
 	$(PY) examples/inspect_rio.py
 	$(PY) examples/transaction_processing.py
 	$(PY) examples/file_server.py
+	$(PY) examples/load_and_crash.py
 	$(PY) examples/fault_injection.py
 	$(PY) examples/performance_table.py
 

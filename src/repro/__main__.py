@@ -18,6 +18,11 @@ Commands:
   lint findings and the code-patching plan for one routine (or all).
 * ``lint``    — run the lint suite over every kernel routine; exits
   non-zero on findings (used by ``make lint``).
+* ``serve``   — the crash-transparent file service under a crash storm:
+  N clients, M mid-traffic kernel crashes, warm reboots, and the
+  zero-lost-acks durability audit (exit 1 if any ack was lost).
+* ``loadgen`` — the same deterministic multi-client load with no storm:
+  a pure throughput/latency measurement of the service.
 
 Each accepts ``--scale`` to trade time for statistics.
 """
@@ -29,6 +34,7 @@ import sys
 
 
 def cmd_demo(_args) -> int:
+    """The quickstart: write, crash, warm reboot, read back."""
     from repro import RioConfig, SystemSpec, build_system
 
     system = build_system(SystemSpec(policy="rio", rio=RioConfig.with_protection()))
@@ -66,6 +72,7 @@ def _parse_fault_types(text: str):
 
 
 def cmd_table1(args) -> int:
+    """Run the Table 1 reliability campaign (serial or parallel)."""
     from repro.faults.types import ALL_FAULT_TYPES
     from repro.reliability import (
         SYSTEM_NAMES,
@@ -137,6 +144,7 @@ def _result_corrupted(result: dict) -> bool:
 
 
 def cmd_forensics(args) -> int:
+    """Per-trial crash forensics over a traced campaign journal."""
     from repro.obs import build_forensic_report, format_forensic_report
     from repro.reliability.campaign import CrashTestConfig, run_baseline_trace
     from repro.reliability.journal import read_trials
@@ -202,6 +210,7 @@ def cmd_forensics(args) -> int:
 
 
 def cmd_table2(_args) -> int:
+    """Run the Table 2 performance grid and its ratio summary."""
     from repro.perf import Table2, format_table2, ratio_summary, run_table2
     from repro.perf.report import format_ratio_summary
 
@@ -213,6 +222,7 @@ def cmd_table2(_args) -> int:
 
 
 def cmd_mttf(_args) -> int:
+    """Print the section 3.3 MTTF illustration."""
     from repro.analysis import mttf_table
     from repro.analysis.mttf import PAPER_RATES
 
@@ -223,6 +233,7 @@ def cmd_mttf(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    """Static analysis of kernel routines: disassembly, CFG, lint, patch plan."""
     from repro.isa.analysis import build_cfg, disassemble_words, lint_words, patch_routine
     from repro.isa.assembler import assemble
     from repro.isa.routines import ROUTINE_SOURCES
@@ -262,6 +273,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_lint(_args) -> int:
+    """Lint every kernel routine; exit non-zero on findings."""
     from repro.isa.analysis import lint_routines
 
     findings = lint_routines()
@@ -274,7 +286,106 @@ def cmd_lint(_args) -> int:
     return 0
 
 
+def _traffic_config(args, crashes: int):
+    """Build a TrafficConfig from the shared serve/loadgen flags."""
+    from repro.reliability import TrafficConfig
+    from repro.server import LoadSpec
+
+    config = TrafficConfig(
+        system=args.system,
+        clients=args.clients,
+        crashes=crashes,
+        seed=args.seed,
+        storm=args.storm,
+        load=LoadSpec(ops_per_client=args.ops, pipeline=args.pipeline),
+        repair=args.repair,
+    )
+    if args.faults:
+        config.fault_type = _parse_fault_types(args.faults)[0]
+    return config
+
+
+def cmd_serve(args) -> int:
+    """File service under a crash storm; exit 1 if any ack was lost."""
+    from repro.reliability import format_traffic_report, run_traffic_campaign
+
+    config = _traffic_config(args, crashes=max(0, args.crashes))
+    print(
+        f"serving {config.clients} clients on {config.system} through "
+        f"{config.crashes} {config.storm} crash(es) ...",
+        file=sys.stderr,
+    )
+    result = run_traffic_campaign(config)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_traffic_report(result))
+    return 0 if result.ok else 1
+
+
+def cmd_loadgen(args) -> int:
+    """Deterministic multi-client load, no crashes: a pure measurement."""
+    from repro.reliability import format_traffic_report, run_traffic_campaign
+
+    config = _traffic_config(args, crashes=0)
+    print(
+        f"load-generating: {config.clients} clients on {config.system} ...",
+        file=sys.stderr,
+    )
+    result = run_traffic_campaign(config)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_traffic_report(result))
+    return 0 if result.ok else 1
+
+
+def _add_traffic_flags(parser, *, crashes: int | None) -> None:
+    parser.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    parser.add_argument("--clients", type=int, default=16, help="concurrent clients")
+    parser.add_argument(
+        "--ops", type=int, default=30, help="programs per client (default 30)"
+    )
+    parser.add_argument(
+        "--pipeline", type=int, default=4, help="requests each client keeps in flight"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="campaign seed")
+    parser.add_argument(
+        "--storm",
+        default="forced",
+        choices=("forced", "faults"),
+        help="crash storm flavour (serve only; loadgen never crashes)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help='fault type for --storm faults, e.g. "kernel stack"',
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="re-apply lost journal entries during recovery (for disk runs)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    if crashes is not None:
+        parser.add_argument(
+            "--crashes",
+            type=int,
+            default=crashes,
+            help=f"mid-traffic kernel crashes (default {crashes})",
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to one command."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="write, crash, warm reboot, read back")
@@ -334,6 +445,12 @@ def main(argv: list[str] | None = None) -> int:
         "--naive", action="store_true", help="show the unoptimized patch plan"
     )
     sub.add_parser("lint", help="lint the kernel text (exit 1 on findings)")
+    ps = sub.add_parser(
+        "serve", help="file service under a crash storm (exit 1 on lost acks)"
+    )
+    _add_traffic_flags(ps, crashes=3)
+    pl = sub.add_parser("loadgen", help="deterministic load, no crashes")
+    _add_traffic_flags(pl, crashes=None)
     args = parser.parse_args(argv)
     return {
         "demo": cmd_demo,
@@ -343,6 +460,8 @@ def main(argv: list[str] | None = None) -> int:
         "mttf": cmd_mttf,
         "analyze": cmd_analyze,
         "lint": cmd_lint,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }[args.command](args)
 
 

@@ -59,6 +59,10 @@ class KernelConfig:
     ns_per_instruction: float = 20.0
     #: Fixed CPU cost of entering a system call.
     syscall_overhead_ns: int = 25_000
+    #: Reduced entry cost for syscalls after the first inside a
+    #: :meth:`Kernel.begin_batch` scope (trap taken once, warm caches):
+    #: the file service's batched submission path relies on this.
+    batch_syscall_overhead_ns: int = 2_500
     #: Charge CPU time at all (reliability campaigns turn this off).
     charge_time: bool = True
     #: The update daemon's flush interval ("once every 30 seconds").
@@ -145,6 +149,9 @@ class Kernel:
         self._op_counter = 0
         self.stat_syscalls = 0
         self.stat_update_runs = 0
+        self.stat_batched_syscalls = 0
+        self._batch_depth = 0
+        self._batch_first_charged = False
 
     # -- boot helpers ------------------------------------------------------
 
@@ -253,6 +260,24 @@ class Kernel:
 
     # -- syscall bookkeeping, daemons, preemption ---------------------------------------
 
+    def begin_batch(self) -> None:
+        """Enter a batched-syscall scope (nestable).
+
+        The first syscall inside the scope pays the full
+        ``syscall_overhead_ns`` prologue; subsequent ones pay the
+        reduced ``batch_syscall_overhead_ns`` — one trap, warm
+        entry path.  Only the fixed entry cost changes; per-byte and
+        per-instruction costs are charged as usual.
+        """
+        if self._batch_depth == 0:
+            self._batch_first_charged = False
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave a batched-syscall scope opened by :meth:`begin_batch`."""
+        if self._batch_depth > 0:
+            self._batch_depth -= 1
+
     def syscall_entered(self) -> None:
         """Common prologue: charge overhead, run background kernel work,
         let the update daemon fire if its deadline passed."""
@@ -260,7 +285,12 @@ class Kernel:
         self.stat_syscalls += 1
         self._op_counter += 1
         if self.config.charge_time:
-            self.clock.consume(self.config.syscall_overhead_ns)
+            if self._batch_depth > 0 and self._batch_first_charged:
+                self.stat_batched_syscalls += 1
+                self.clock.consume(self.config.batch_syscall_overhead_ns)
+            else:
+                self._batch_first_charged = True
+                self.clock.consume(self.config.syscall_overhead_ns)
         if self.config.background_interval_ops and (
             self._op_counter % self.config.background_interval_ops == 0
         ):

@@ -10,12 +10,14 @@ trapping, a consistency panic, a watchdog — takes the machine down through
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import (
     BadFileDescriptor,
     CrossDevice,
     FileNotFound,
+    FileSystemError,
     InvalidArgument,
     SystemCrash,
 )
@@ -91,6 +93,48 @@ class VFS:
         if fd not in self._files:
             raise BadFileDescriptor(f"fd {fd}")
         return self._files[fd]
+
+    # -- batched entry ------------------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Scope in which syscalls share one trap's fixed entry cost.
+
+        The first syscall inside the scope pays the kernel's full
+        ``syscall_overhead_ns`` prologue; the rest pay the reduced
+        ``batch_syscall_overhead_ns``.  Semantics are unchanged —
+        errors and crashes propagate exactly as unbatched — only the
+        fixed per-call CPU charge drops.  The file service wraps each
+        scheduled batch in one of these scopes.
+        """
+        self.kernel.begin_batch()
+        try:
+            yield self
+        finally:
+            # The kernel object may have been replaced by a reboot
+            # mid-scope; closing the old one's scope is still correct
+            # (the new kernel boots with a zero batch depth).
+            self.kernel.end_batch()
+
+    def run_batch(self, calls: list) -> list:
+        """Execute ``calls`` — ``(method_name, *args)`` tuples — batched.
+
+        Returns one result per call, in order; a call that fails with a
+        file-system error contributes the *exception object* instead of
+        a result and the batch keeps going.  A crash propagates
+        immediately (trailing calls never run).
+        """
+        results = []
+        with self.batch():
+            for name, *args in calls:
+                method = getattr(self, name, None)
+                if method is None or name.startswith("_"):
+                    raise InvalidArgument(f"unknown syscall {name!r}")
+                try:
+                    results.append(method(*args))
+                except FileSystemError as exc:
+                    results.append(exc)
+        return results
 
     # -- file descriptor syscalls ------------------------------------------------
 

@@ -52,6 +52,8 @@ EVENT_KINDS = (
     "shadow",    # Rio guard shadow-page flips around in-place writes
     "registry",  # registry entry updates
     "reboot",    # warm-reboot phases: dump, audit, metadata/UBC restore
+    "server",    # file service: session opens, acks, rejects, crash
+                 # detection, session rebinds, recovery audits
 )
 
 

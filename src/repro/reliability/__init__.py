@@ -38,6 +38,12 @@ from repro.reliability.journal import (
     CampaignResumeError,
     JournalWarning,
 )
+from repro.reliability.traffic import (
+    TrafficConfig,
+    TrafficResult,
+    format_traffic_report,
+    run_traffic_campaign,
+)
 from repro.reliability.propagation import (
     PropagationSummary,
     format_propagation,

@@ -1,0 +1,254 @@
+"""Traffic-under-faults: crash storms against the live file service.
+
+Table 1 crashes a kernel under a single-threaded workload.  This module
+is the same experiment at service scale: N deterministic clients drive
+the :class:`~repro.server.FileService` while a *crash storm* brings the
+kernel down M times mid-traffic.  After every crash the service warm
+reboots, audits its acknowledged-write journal against the recovered
+cache, re-binds every session, and resumes the interrupted batch.  The
+campaign's claim is the paper's, restated for a server: **no
+acknowledged operation is ever lost on Rio** — and the whole run,
+crashes included, is a pure function of its seed, so one
+``(system, clients, seed)`` triple produces one ack digest on either
+execution engine.
+
+Two storm flavours:
+
+* ``forced`` — administrative crashes at evenly spaced points in the
+  executed-request stream (deterministic, always fires M times);
+* ``faults`` — the Table 1 fault injector corrupts the running kernel
+  at the same points; if a corruption stays latent past the watchdog
+  budget the storm forces the crash (the paper's time budget, restated
+  in executed requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.faults import FaultInjector, FaultType
+from repro.reliability.campaign import system_spec_for
+from repro.server import (
+    FileService,
+    LoadClient,
+    LoadReport,
+    LoadSpec,
+    ServiceConfig,
+    run_load,
+)
+from repro.system import build_system
+
+
+@dataclass
+class TrafficConfig:
+    """One traffic-under-faults run."""
+
+    #: "disk" | "rio_noprot" | "rio_prot" (Table 1's three systems).
+    system: str = "rio_prot"
+    clients: int = 16
+    crashes: int = 3
+    seed: int = 1
+    #: "forced" (administrative crashes) or "faults" (injected faults
+    #: plus a watchdog).
+    storm: str = "forced"
+    #: Fault type used by the "faults" storm.
+    fault_type: FaultType = FaultType.KERNEL_STACK
+    #: Executed requests a latent fault may ride before the watchdog
+    #: forces the crash ("faults" storm only).
+    watchdog_budget: int = 200
+    #: Root file system size in 8 KB blocks (64 clients need room).
+    fs_blocks: int = 2048
+    #: Per-client load shape.
+    load: LoadSpec = field(default_factory=LoadSpec)
+    #: Service tunables (queue depth, batch size, quotas).
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Re-apply lost journal entries during recovery (meaningful on the
+    #: disk system; a Rio run never has anything to repair).
+    repair: bool = False
+    #: Pin the execution engine (None keeps the machine default).
+    fast_path: Optional[bool] = None
+
+
+@dataclass
+class TrafficResult:
+    """What one traffic campaign observed."""
+
+    config: TrafficConfig
+    crashes_observed: int = 0
+    recoveries: int = 0
+    faults_injected: int = 0
+    watchdog_fired: int = 0
+    lost_acks: int = 0
+    repaired_acks: int = 0
+    rebinds: int = 0
+    rebind_failures: int = 0
+    transparent_retries: int = 0
+    final_audit_ok: bool = False
+    load: Optional[LoadReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """The zero-lost-acks guarantee, including the final audit."""
+        return self.lost_acks == 0 and self.final_audit_ok
+
+    @property
+    def ack_digest(self) -> str:
+        """Digest of the ordered ack log (determinism fixture)."""
+        return self.load.ack_digest if self.load else ""
+
+    @property
+    def state_digest(self) -> str:
+        """Digest of the expected post-run state."""
+        return self.load.state_digest if self.load else ""
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable summary (drops the live objects)."""
+        return {
+            "system": self.config.system,
+            "clients": self.config.clients,
+            "crashes": self.config.crashes,
+            "storm": self.config.storm,
+            "seed": self.config.seed,
+            "crashes_observed": self.crashes_observed,
+            "recoveries": self.recoveries,
+            "faults_injected": self.faults_injected,
+            "watchdog_fired": self.watchdog_fired,
+            "lost_acks": self.lost_acks,
+            "repaired_acks": self.repaired_acks,
+            "rebinds": self.rebinds,
+            "rebind_failures": self.rebind_failures,
+            "transparent_retries": self.transparent_retries,
+            "acked": self.load.acked if self.load else 0,
+            "failed": self.load.failed if self.load else 0,
+            "rejected": self.load.rejected if self.load else 0,
+            "ok": self.ok,
+            "ack_digest": self.ack_digest,
+            "state_digest": self.state_digest,
+        }
+
+
+class _CrashStorm:
+    """The ``before_execute`` hook bringing the kernel down mid-traffic.
+
+    Crash points are evenly spaced over the estimated executed-request
+    stream.  The "forced" flavour crashes the machine outright; the
+    "faults" flavour injects one Table 1 fault and arms a watchdog that
+    forces the crash if the corruption stays latent too long.
+    """
+
+    def __init__(self, system, config: TrafficConfig) -> None:
+        self.system = system
+        self.config = config
+        total = config.clients * (
+            config.load.files_per_client + int(config.load.ops_per_client * 1.4)
+        )
+        step = max(1, total // (config.crashes + 1))
+        self.points: List[int] = [step * (i + 1) for i in range(config.crashes)]
+        self.fired = 0
+        self.faults_injected = 0
+        self.watchdog_fired = 0
+        self._armed_at: Optional[int] = None
+        self._armed_kernel = None
+
+    def __call__(self, executed: int) -> None:
+        config = self.config
+        if self._armed_at is not None:
+            if self.system.kernel is not self._armed_kernel:
+                # The fault crashed the kernel on its own (the system
+                # has rebooted since arming): disarm the watchdog.
+                self._armed_at = self._armed_kernel = None
+            elif executed - self._armed_at >= config.watchdog_budget:
+                # Latent corruption past the budget; force the crash.
+                self._armed_at = self._armed_kernel = None
+                self.watchdog_fired += 1
+                self.system.machine.crash(
+                    "traffic storm watchdog: latent fault", kind="watchdog"
+                )
+                return
+            else:
+                return
+        if self.fired >= len(self.points) or executed < self.points[self.fired]:
+            return
+        self.fired += 1
+        if config.storm == "forced":
+            self.system.machine.crash(
+                f"traffic storm crash {self.fired}/{config.crashes}",
+                kind="forced",
+            )
+        else:
+            # A fresh injector every time: the kernel object is replaced
+            # by each reboot.
+            injector = FaultInjector(
+                self.system.kernel, seed=config.seed * 1000 + self.fired
+            )
+            injector.inject(config.fault_type)
+            self.faults_injected += 1
+            self._armed_at = executed
+            self._armed_kernel = self.system.kernel
+
+
+def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
+    """Run one traffic-under-faults campaign; returns its result."""
+    if config.storm not in ("forced", "faults"):
+        raise ValueError(f"unknown storm {config.storm!r}")
+    spec = system_spec_for(config.system, fs_blocks=config.fs_blocks)
+    if config.fast_path is not None:
+        spec = replace(spec, machine=replace(spec.machine, fast_path=config.fast_path))
+    system = build_system(spec)
+    service_config = replace(config.service, repair_on_recover=config.repair)
+    service = FileService(system, service_config)
+    storm = _CrashStorm(system, config)
+    service.before_execute = storm
+    clients = [
+        LoadClient(client_id, seed=config.seed, spec=config.load)
+        for client_id in range(config.clients)
+    ]
+    load = run_load(service, clients)
+    result = TrafficResult(config=config, load=load)
+    result.crashes_observed = service.stats.crashes_detected
+    result.recoveries = service.stats.recoveries
+    result.faults_injected = storm.faults_injected
+    result.watchdog_fired = storm.watchdog_fired
+    result.lost_acks = service.stats.lost_acks
+    result.repaired_acks = service.stats.repaired_acks
+    result.transparent_retries = service.stats.transparent_retries
+    for session in service.sessions.sessions.values():
+        result.rebinds += session.rebinds
+        result.rebind_failures += session.rebind_failures
+    final = service.audit()
+    result.final_audit_ok = final.ok
+    result.lost_acks += len(final.lost)
+    return result
+
+
+def format_traffic_report(result: TrafficResult) -> str:
+    """Human-readable summary of one traffic campaign."""
+    config = result.config
+    load = result.load
+    lines = [
+        "traffic-under-faults campaign",
+        f"  system          {config.system}  (storm={config.storm}, seed={config.seed})",
+        f"  clients         {config.clients} x {config.load.ops_per_client} programs",
+        f"  crashes         {result.crashes_observed} observed / {config.crashes} requested",
+    ]
+    if config.storm == "faults":
+        lines.append(
+            f"  faults          {result.faults_injected} injected "
+            f"({config.fault_type.value}), watchdog fired {result.watchdog_fired}"
+        )
+    lines += [
+        f"  acked           {load.acked} "
+        f"(failed {load.failed}, rejected {load.rejected}, retried {load.retried})",
+        f"  transparent     {result.transparent_retries} requests re-run across crashes",
+        f"  rebinds         {result.rebinds} fds re-bound, {result.rebind_failures} stale",
+        f"  lost acks       {result.lost_acks}"
+        + (f"  (repaired {result.repaired_acks})" if result.repaired_acks else ""),
+        f"  throughput      {load.throughput_ops_per_vsec:,.0f} ops/vsec",
+        f"  latency p50/p99 {load.latency_percentile(0.50) / 1e6:.2f} / "
+        f"{load.latency_percentile(0.99) / 1e6:.2f} ms (virtual)",
+        f"  ack digest      {result.ack_digest[:16]}",
+        f"  state digest    {result.state_digest[:16]}",
+        f"  verdict         {'ZERO LOST ACKS' if result.ok else 'ACKS LOST'}",
+    ]
+    return "\n".join(lines)

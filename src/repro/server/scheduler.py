@@ -1,0 +1,109 @@
+"""Deterministic fair queuing over per-client request streams.
+
+The simulated machine is single-threaded, so concurrency is a
+scheduling problem: many client streams must interleave onto one
+syscall layer without any client starving the rest.  The scheduler
+keeps one bounded FIFO per client and assembles *batches* by deficit
+round-robin: clients are visited in a rotating order (resuming after
+the last client served, so a heavy client cannot monopolize the front
+of every batch) and each visited client contributes up to ``quantum``
+requests until the batch is full or every queue is empty.  Everything
+is a pure function of the submission order, so one seed produces one
+schedule — the property the traffic-under-faults determinism suite
+pins down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.server.protocol import Backpressure, Request
+
+
+class RequestScheduler:
+    """Bounded per-client queues plus deficit round-robin batching."""
+
+    def __init__(self, queue_depth: int = 32) -> None:
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.queue_depth = queue_depth
+        self._queues: Dict[int, Deque[Request]] = {}
+        #: Client id after which the next batch's rotation starts.
+        self._resume_after: int = -1
+
+    # -- admission -----------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Admit one request or raise :class:`Backpressure` if full."""
+        queue = self._queues.setdefault(request.client_id, deque())
+        if len(queue) >= self.queue_depth:
+            raise Backpressure(
+                f"client {request.client_id}: queue depth {self.queue_depth} reached"
+            )
+        queue.append(request)
+
+    def requeue_front(self, requests: List[Request]) -> None:
+        """Put never-started requests back at the head of their queues.
+
+        Used when a crash interrupts a batch: requests scheduled but not
+        yet executed keep their place in line (and their admission
+        timestamps, so their latency honestly includes the recovery).
+        """
+        for request in reversed(requests):
+            self._queues.setdefault(request.client_id, deque()).appendleft(request)
+
+    # -- introspection -------------------------------------------------
+
+    def backlog(self, client_id: int | None = None) -> int:
+        """Queued requests for one client (or all clients)."""
+        if client_id is not None:
+            return len(self._queues.get(client_id, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def clients(self) -> List[int]:
+        """Client ids with a queue (sorted; may be empty queues)."""
+        return sorted(self._queues)
+
+    # -- batching ------------------------------------------------------
+
+    def next_batch(self, batch_size: int, quantum: int = 4) -> List[Request]:
+        """Assemble the next batch by rotating deficit round-robin.
+
+        Visits clients in ascending id order starting after the client
+        that ended the previous batch; each visit takes up to
+        ``quantum`` requests.  Returns at most ``batch_size`` requests
+        (empty when nothing is queued).
+        """
+        if batch_size <= 0 or quantum <= 0:
+            raise ValueError("batch_size and quantum must be positive")
+        ids = [cid for cid in sorted(self._queues) if self._queues[cid]]
+        if not ids:
+            return []
+        # Rotate so fairness carries across batches.
+        start = 0
+        for index, cid in enumerate(ids):
+            if cid > self._resume_after:
+                start = index
+                break
+        else:
+            start = 0
+        ids = ids[start:] + ids[:start]
+        batch: List[Request] = []
+        while len(batch) < batch_size:
+            progressed = False
+            for cid in ids:
+                queue = self._queues[cid]
+                took = 0
+                while queue and took < quantum and len(batch) < batch_size:
+                    batch.append(queue.popleft())
+                    took += 1
+                if took:
+                    progressed = True
+                    self._resume_after = cid
+                if len(batch) >= batch_size:
+                    break
+            if not progressed:
+                break
+        return batch

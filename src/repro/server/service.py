@@ -1,0 +1,459 @@
+""":class:`FileService`: the assembled crash-transparent file server.
+
+One service owns one :class:`~repro.system.System` and serves many
+clients: admission control and typed backpressure at the front, the
+deterministic fair scheduler in the middle, batched syscall execution
+against the VFS at the bottom — and, when the kernel goes down
+mid-traffic (an injected fault, a crash-storm hook, a genuine bug), the
+service *recovers in line*: it runs the warm reboot, audits (and on
+lossy systems repairs) the acknowledged-write journal against the
+restored cache, re-binds every session's fd table, and resumes the very
+batch it was executing.  Acknowledged operations are never lost; the
+per-request durability audit proves it after every crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import (
+    CrashedMachineError,
+    FileExists,
+    FileNotFound,
+    FileSystemError,
+    SystemCrash,
+)
+from repro.server.journal import AckJournal, AuditReport
+from repro.server.protocol import (
+    QuotaExceeded,
+    Request,
+    Response,
+    ServerError,
+    SessionError,
+)
+from repro.server.scheduler import RequestScheduler
+from repro.server.session import Session, SessionManager
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one file service instance."""
+
+    #: Per-client admission queue depth (Backpressure beyond it).
+    queue_depth: int = 32
+    #: Requests executed per scheduling batch.
+    batch_size: int = 16
+    #: Max requests one client contributes per round-robin visit.
+    quantum: int = 4
+    #: Per-client open-descriptor quota (QuotaExceeded beyond it).
+    max_open_fds: int = 16
+    #: Run recovery automatically when a batch hits a crash.
+    auto_recover: bool = True
+    #: Re-apply lost journal entries during the post-crash audit.
+    #: Pointless on Rio (nothing is ever lost); it lets the service
+    #: degrade gracefully on disk-backed systems instead of lying.
+    repair_on_recover: bool = False
+    #: Directory under which per-client homes are created.
+    home_prefix: str = "/srv"
+
+
+@dataclass
+class ServiceStats:
+    """Running counters across the service's lifetime."""
+
+    submitted: int = 0
+    rejected: int = 0
+    executed: int = 0
+    acked: int = 0
+    failed: int = 0
+    crashes_detected: int = 0
+    #: Requests re-executed transparently after a mid-request crash.
+    transparent_retries: int = 0
+    recoveries: int = 0
+    lost_acks: int = 0
+    repaired_acks: int = 0
+    audits: List[AuditReport] = field(default_factory=list)
+
+
+class FileService:
+    """A concurrent multi-client file service over one simulated system."""
+
+    def __init__(self, system, config: Optional[ServiceConfig] = None) -> None:
+        self.system = system
+        self.config = config or ServiceConfig()
+        self.sessions = SessionManager()
+        self.journal = AckJournal()
+        self.scheduler = RequestScheduler(self.config.queue_depth)
+        self.stats = ServiceStats()
+        #: Optional hook called with the running executed-request count
+        #: immediately before each request runs; crash storms use it to
+        #: bring the kernel down mid-traffic.
+        self.before_execute: Optional[Callable[[int], None]] = None
+        self.last_audit: Optional[AuditReport] = None
+        system.add_reboot_hook(self._on_reboot)
+        try:
+            self.system.vfs.mkdir(self.config.home_prefix)
+        except FileExists:
+            pass
+        else:
+            self.journal.record(-1, 0, "mkdir", self.config.home_prefix)
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def _now(self) -> int:
+        return self.system.clock.now_ns
+
+    def _recorder(self):
+        """The machine's flight recorder, when attached and running."""
+        rec = getattr(self.system.machine, "recorder", None)
+        return rec if rec is not None and rec.enabled else None
+
+    # -- sessions ------------------------------------------------------
+
+    def open_session(self, client_id: int) -> Session:
+        """Create a session (and its home directory) for a client.
+
+        The home directory creation is journaled under ``req_id=0`` —
+        it is an acknowledged mutation like any other.
+        """
+        if client_id in self.sessions.sessions:
+            return self.sessions.get(client_id)
+        home = f"{self.config.home_prefix}/c{client_id:03d}"
+        try:
+            self.system.vfs.mkdir(home)
+        except FileExists:
+            pass
+        self.journal.record(client_id, 0, "mkdir", home)
+        session = self.sessions.open_session(client_id, cwd=home)
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit("server", "session-open", client=client_id, home=home)
+        return session
+
+    def close_session(self, client_id: int) -> None:
+        """Close a client's backing descriptors and drop the session."""
+        self.sessions.close_session(client_id, self.system.vfs)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, request: Request) -> Optional[Response]:
+        """Admit a request into its client's queue.
+
+        Returns ``None`` on admission, or an immediate *retryable*
+        error response (backpressure) when the queue is full.  Requests
+        are stamped with the current virtual time so latencies measure
+        queueing, execution, and any recovery they waited out.
+        """
+        request.submitted_ns = self._now
+        self.stats.submitted += 1
+        try:
+            self.sessions.get(request.client_id)
+            self.scheduler.enqueue(request)
+        except ServerError as exc:
+            self.stats.submitted -= 1
+            self.stats.rejected += 1
+            rec = self._recorder()
+            if rec is not None:
+                rec.emit(
+                    "server", "reject",
+                    client=request.client_id, req=request.req_id, error=exc.code,
+                )
+            return Response.failure(request, exc, self._now)
+        return None
+
+    # -- the pump ------------------------------------------------------
+
+    def pump(self) -> List[Response]:
+        """Execute one scheduled batch; returns its responses.
+
+        The batch runs inside a :meth:`VFS.batch` scope (the fixed
+        syscall prologue is charged once at full price, then at the
+        batched rate).  A crash mid-batch is absorbed here: completed
+        requests keep their (already journaled) acknowledgements, while
+        the dying request and the batch's unstarted remainder return to
+        the front of their queues in order — the client never sees the
+        crash, only the recovery latency.  With ``auto_recover`` the
+        warm reboot, audit and session re-bind all happen before this
+        call returns.
+        """
+        if self.system.machine.crashed:
+            # The machine went down outside any batch (an administrative
+            # crash, a storm firing between pumps).  Recover first.
+            if not self.config.auto_recover:
+                return []
+            self.stats.crashes_detected += 1
+            self.recover(None)
+        batch = self.scheduler.next_batch(self.config.batch_size, self.config.quantum)
+        if not batch:
+            return []
+        responses: List[Response] = []
+        inflight: Optional[dict] = None
+        rec = self._recorder()
+        vfs = self.system.vfs
+        try:
+            with vfs.batch():
+                for index, request in enumerate(batch):
+                    if self.before_execute is not None:
+                        self.before_execute(self.stats.executed)
+                    try:
+                        value = self._execute(request)
+                    except (SystemCrash, CrashedMachineError):
+                        # Crash transparency: the dying request was not
+                        # acknowledged, so it is simply re-executed after
+                        # recovery — ahead of the rest of the batch, so
+                        # per-client ordering is preserved.  Re-execution
+                        # is safe: writes are positional (idempotent) and
+                        # a namespace op that did land surfaces as an
+                        # ordinary POSIX error on the retry.
+                        inflight = self._describe_inflight(request)
+                        self.stats.transparent_retries += 1
+                        self.scheduler.requeue_front(batch[index:])
+                        break
+                    except ServerError as exc:
+                        self.stats.executed += 1
+                        self.stats.failed += 1
+                        responses.append(Response.failure(request, exc, self._now))
+                    except FileSystemError as exc:
+                        self.stats.executed += 1
+                        self.stats.failed += 1
+                        responses.append(
+                            Response(
+                                client_id=request.client_id,
+                                req_id=request.req_id,
+                                op=request.op,
+                                ok=False,
+                                error=exc.errno_name,
+                                retryable=False,
+                                submitted_ns=request.submitted_ns,
+                                completed_ns=self._now,
+                            )
+                        )
+                    else:
+                        self.stats.executed += 1
+                        self.stats.acked += 1
+                        responses.append(
+                            Response(
+                                client_id=request.client_id,
+                                req_id=request.req_id,
+                                op=request.op,
+                                ok=True,
+                                value=value,
+                                submitted_ns=request.submitted_ns,
+                                completed_ns=self._now,
+                            )
+                        )
+                        if rec is not None:
+                            rec.emit(
+                                "server", "ack",
+                                client=request.client_id,
+                                req=request.req_id,
+                                op=request.op,
+                            )
+        except (SystemCrash, CrashedMachineError):
+            # A crash escaping outside request execution (e.g. raised by
+            # the batch epilogue) is handled like a mid-request crash
+            # with nothing in flight.
+            inflight = inflight or {}
+        if inflight is not None:
+            self.stats.crashes_detected += 1
+            if rec is not None:
+                rec.emit("server", "crash-detected", backlog=self.scheduler.backlog())
+            if self.config.auto_recover:
+                self.recover(inflight)
+        return responses
+
+    def drain(self, max_batches: int = 100_000) -> List[Response]:
+        """Pump until every queue is empty; returns all responses."""
+        responses: List[Response] = []
+        for _ in range(max_batches):
+            out = self.pump()
+            if not out and self.scheduler.backlog() == 0:
+                break
+            responses.extend(out)
+        return responses
+
+    # -- recovery ------------------------------------------------------
+
+    def recover(self, inflight: Optional[dict] = None) -> AuditReport:
+        """Warm-reboot the system, audit the ack journal, resume.
+
+        ``inflight`` is the description of the single unacknowledged
+        request the machine died inside (see
+        :meth:`AckJournal.audit`); sessions are re-bound by the
+        :meth:`System.add_reboot_hook` hook this service registered at
+        construction.  Returns the audit report; ``report.ok`` is the
+        zero-lost-acks guarantee the traffic campaign asserts.
+        """
+        self.system.reboot()  # reboot hooks re-bind the sessions
+        audit = self.journal.audit(
+            self.system.vfs,
+            repair=self.config.repair_on_recover,
+            inflight=inflight,
+        )
+        self.stats.recoveries += 1
+        self.stats.lost_acks += len(audit.lost)
+        self.stats.repaired_acks += audit.repaired
+        self.stats.audits.append(audit)
+        self.last_audit = audit
+        rec = self._recorder()
+        if rec is not None:
+            rec.emit(
+                "server", "recovered",
+                lost=len(audit.lost),
+                repaired=audit.repaired,
+                files=audit.files_checked,
+            )
+        return audit
+
+    def audit(self) -> AuditReport:
+        """Run the durability audit against the current file system."""
+        audit = self.journal.audit(self.system.vfs)
+        self.last_audit = audit
+        return audit
+
+    def _on_reboot(self, system, report) -> None:
+        """Reboot hook: reconstruct every session on the fresh VFS."""
+        self.sessions.rebind_all(system.vfs, recorder=self._recorder())
+
+    # -- request execution ---------------------------------------------
+
+    def _describe_inflight(self, request: Request) -> dict:
+        """Resolve the crashing request's paths for the audit mask."""
+        info: dict = {"op": request.op}
+        try:
+            session = self.sessions.get(request.client_id)
+        except SessionError:
+            return info
+        if request.op in ("write", "read", "fsync", "truncate", "close"):
+            state = session.fds.get(request.fd)
+            if state is not None:
+                info["path"] = state.path
+                if request.op == "write":
+                    info["offset"] = (
+                        request.offset if request.offset is not None else state.offset
+                    )
+                    info["length"] = len(request.data or b"")
+        elif request.path is not None:
+            info["path"] = session.resolve(request.path)
+            if request.new_path is not None:
+                info["new_path"] = session.resolve(request.new_path)
+        return info
+
+    def _execute(self, request: Request) -> Any:
+        """Run one request against the VFS; journal it if it mutates.
+
+        Raises :class:`ServerError` subtypes for service-level
+        failures, file-system errors for POSIX failures, and lets
+        crashes propagate to :meth:`pump`.
+        """
+        session = self.sessions.get(request.client_id)
+        vfs = self.system.vfs
+        op = request.op
+
+        if op == "open":
+            if len(session.fds) >= self.config.max_open_fds:
+                raise QuotaExceeded(
+                    f"client {session.client_id}: "
+                    f"open-fd quota ({self.config.max_open_fds}) exhausted"
+                )
+            path = session.resolve(request.path)
+            existed = vfs.exists(path)
+            backing = vfs.open(path, create=request.create)
+            state = session.add_fd(path, backing, self.config.max_open_fds)
+            if request.create and not existed:
+                self.journal.record(session.client_id, request.req_id, "open", path)
+            return state.cfd
+
+        if op == "close":
+            state = session.lookup(request.fd)
+            vfs.close(state.backing_fd)
+            session.drop_fd(state.cfd)
+            return None
+
+        if op == "read":
+            state = session.lookup(request.fd)
+            offset = request.offset if request.offset is not None else state.offset
+            data = vfs.pread(state.backing_fd, request.length or 0, offset)
+            if request.offset is None:
+                state.offset = offset + len(data)
+            return data
+
+        if op == "write":
+            state = session.lookup(request.fd)
+            offset = request.offset if request.offset is not None else state.offset
+            data = request.data or b""
+            vfs.pwrite(state.backing_fd, data, offset)
+            self.journal.record(
+                session.client_id, request.req_id, "write",
+                state.path, offset=offset, data=data,
+            )
+            if request.offset is None:
+                state.offset = offset + len(data)
+            return len(data)
+
+        if op == "fsync":
+            state = session.lookup(request.fd)
+            vfs.fsync(state.backing_fd)
+            return None
+
+        if op == "truncate":
+            state = session.lookup(request.fd)
+            vfs.ftruncate(state.backing_fd)
+            self.journal.record(
+                session.client_id, request.req_id, "truncate", state.path
+            )
+            state.offset = 0
+            return None
+
+        if op == "mkdir":
+            path = session.resolve(request.path)
+            vfs.mkdir(path)
+            self.journal.record(session.client_id, request.req_id, "mkdir", path)
+            return None
+
+        if op == "rmdir":
+            path = session.resolve(request.path)
+            vfs.rmdir(path)
+            self.journal.record(session.client_id, request.req_id, "rmdir", path)
+            return None
+
+        if op == "unlink":
+            path = session.resolve(request.path)
+            vfs.unlink(path)
+            self.journal.record(session.client_id, request.req_id, "unlink", path)
+            return None
+
+        if op == "rename":
+            old = session.resolve(request.path)
+            new = session.resolve(request.new_path)
+            vfs.rename(old, new)
+            self.journal.record(
+                session.client_id, request.req_id, "rename", old, new_path=new
+            )
+            for other in self.sessions.sessions.values():
+                for state in other.fds.values():
+                    if state.path == old:
+                        state.path = new
+            return None
+
+        if op == "readdir":
+            return vfs.readdir(session.resolve(request.path))
+
+        if op == "stat":
+            path = session.resolve(request.path)
+            try:
+                node = vfs.stat(path)
+            except FileNotFound:
+                return {"exists": False}
+            return {"exists": True, "size": getattr(node, "size", None)}
+
+        if op == "chdir":
+            path = session.resolve(request.path)
+            if not vfs.exists(path):
+                raise FileNotFound(path)
+            session.cwd = path
+            return path
+
+        raise SessionError(f"unknown op {request.op!r}")

@@ -111,6 +111,10 @@ class System:
         self.rio: Optional[RioFileCache] = None
         self.fs = None
         self.vfs: Optional[VFS] = None
+        #: Callables run at the end of every reboot (see
+        #: :meth:`add_reboot_hook`); services layered on the system use
+        #: them to reconstruct state the reboot invalidated.
+        self._reboot_hooks: list = []
         self._boot_stack(first=True)
 
     # -- boot ------------------------------------------------------------
@@ -188,7 +192,20 @@ class System:
         if warm_enabled and report.warm is not None and report.warm.registry_found:
             # Step 2: the user-level restore of dirty UBC pages.
             restore_ubc(self.fs, image, entries, report.warm)
+
+        # Last: let layered services rebuild state the reboot destroyed
+        # (the VFS fd table does not survive _boot_stack).  Hooks run in
+        # registration order, after the cache contents are restored.
+        for hook in self._reboot_hooks:
+            hook(self, report)
         return report
+
+    def add_reboot_hook(self, hook) -> None:
+        """Register ``hook(system, report)`` to run at the end of every
+        :meth:`reboot`, after recovery completes — the file service uses
+        this to re-bind client sessions onto the rebuilt VFS."""
+        if hook not in self._reboot_hooks:
+            self._reboot_hooks.append(hook)
 
     # -- conveniences ------------------------------------------------------------
 

@@ -6,10 +6,12 @@ are exercised by the benchmarks instead; they take minutes.)
 
 import importlib.util
 import pathlib
+import re
 
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+README = pathlib.Path(__file__).parent.parent / "README.md"
 
 
 def run_example(name: str) -> None:
@@ -21,10 +23,25 @@ def run_example(name: str) -> None:
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "inspect_rio", "transaction_processing", "file_server", "crash_survival"],
+    [
+        "quickstart",
+        "inspect_rio",
+        "transaction_processing",
+        "file_server",
+        "crash_survival",
+        "load_and_crash",
+    ],
 )
 def test_example_runs(name, capsys):
     run_example(name)
     out = capsys.readouterr().out
     assert out.strip()  # produced some narrative
     assert "Traceback" not in out
+
+
+def test_readme_quickstart_block():
+    # The README promises this block is executed verbatim; here it is.
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert blocks, "README lost its quickstart block"
+    exec(compile(blocks[0], "README.md[quickstart]", "exec"), {})
