@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint docstrings serve-smoke bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke verify-disk bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -22,6 +22,13 @@ docstrings:
 # kernel crashes, exit 1 if a single acknowledged op is lost.
 serve-smoke:
 	PYTHONPATH=src $(PY) -m repro serve --clients 16 --crashes 3
+
+# Independent on-disk-format verification: clean image dissects clean,
+# injected damage is found, the constructed divergent image fires a
+# DivergenceReport, and a mini crash campaign's fsck verdicts all agree
+# with the dissect second opinion.
+verify-disk:
+	$(PY) scripts/verify_disk.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Disk-image verification smoke: dissect vs fsck, end to end.
+
+The ``make verify-disk`` gate. Exercises the whole second-opinion
+pipeline without pytest:
+
+1. build a populated file system, flush it, dump it through the image
+   container, and require the dissect scan to come back CLEAN;
+2. inject known structural damage (a ghost inode whose data block lies
+   beyond end-of-file, a leaked bitmap bit, a mangled inode slot) and
+   require dissect to report exactly those finding kinds;
+3. run fsck over the ghost-inode image and require the
+   fsck-vs-dissect :class:`DivergenceReport` to fire — the constructed
+   divergence the campaign plumbing exists to surface;
+4. run a mini crash campaign (one counted crash per system) and require
+   every recovered trial's second opinion to agree with fsck.
+
+Exits non-zero on the first failed expectation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fs.dissect import (  # noqa: E402
+    FindingKind,
+    compare_verdicts,
+    dissect_image,
+    dump_image,
+    install,
+    load_image,
+    snapshot,
+)
+
+
+def fail(message: str) -> None:
+    """Print the failed expectation and exit non-zero."""
+    print(f"verify-disk: FAIL: {message}")
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    """Progress line for one verification step."""
+    print(f"verify-disk: {message}")
+
+
+def build_image() -> bytearray:
+    """A small aged file system, fully flushed, as raw image bytes."""
+    from repro.reliability.campaign import system_spec_for
+    from repro.system import build_system
+
+    system = build_system(system_spec_for("rio_prot", fs_blocks=128))
+    for i in range(8):
+        fd = system.vfs.open(f"/file{i}", create=True)
+        system.vfs.write(fd, bytes([i]) * (512 * (i + 1)))
+        system.vfs.close(fd)
+    system.vfs.mkdir("/dir")
+    fd = system.vfs.open("/dir/nested", create=True)
+    system.vfs.write(fd, b"nested")
+    system.vfs.close(fd)
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+    return bytearray(snapshot(system.disk))
+
+
+def inject_damage(image: bytearray) -> None:
+    """Ghost inode beyond EOF + leaked bitmap bit + mangled inode slot."""
+    from repro.fs.ondisk import (
+        BLOCK_SIZE,
+        DIRENT_SIZE,
+        INODE_SIZE,
+        INODES_PER_BLOCK,
+        N_DIRECT,
+        DirEntry,
+        FileType,
+        Inode,
+        Superblock,
+    )
+
+    sb = Superblock.from_bytes(bytes(image[:BLOCK_SIZE]))
+    bitmap_base = sb.bitmap_start * BLOCK_SIZE
+
+    def bit(block: int) -> int:
+        return image[bitmap_base + block // 8] >> (block % 8) & 1
+
+    free_blocks = [
+        b for b in range(sb.data_start, sb.total_blocks - 1) if not bit(b)
+    ]
+    free_inos = [
+        ino
+        for ino in range(1, sb.inode_blocks * INODES_PER_BLOCK)
+        if image[
+            sb.inode_start * BLOCK_SIZE
+            + ino * INODE_SIZE : sb.inode_start * BLOCK_SIZE
+            + (ino + 1) * INODE_SIZE
+        ]
+        == b"\x00" * INODE_SIZE
+    ]
+
+    # 1. The ghost: size 0 but one data block mapped (beyond EOF).
+    ghost_ino, ghost_block = free_inos[0], free_blocks[0]
+    direct = [0] * N_DIRECT
+    direct[0] = ghost_block
+    inode = Inode(ino=ghost_ino, ftype=FileType.REGULAR, nlink=1, size=0, direct=direct)
+    off = sb.inode_start * BLOCK_SIZE + ghost_ino * INODE_SIZE
+    image[off : off + INODE_SIZE] = inode.to_bytes()
+    image[bitmap_base + ghost_block // 8] |= 1 << (ghost_block % 8)
+    root_off = sb.inode_start * BLOCK_SIZE + sb.root_ino * INODE_SIZE
+    root = Inode.from_bytes(sb.root_ino, bytes(image[root_off : root_off + INODE_SIZE]))
+    base = root.direct[0] * BLOCK_SIZE
+    for slot in range(base, base + BLOCK_SIZE, DIRENT_SIZE):
+        if image[slot : slot + 4] == b"\x00\x00\x00\x00":
+            image[slot : slot + DIRENT_SIZE] = DirEntry(ghost_ino, "ghost").to_bytes()
+            break
+
+    # 2. A leaked bitmap bit: allocated but claimed by no inode.
+    leaked = free_blocks[1]
+    image[bitmap_base + leaked // 8] |= 1 << (leaked % 8)
+
+    # 3. A mangled inode slot.
+    off = sb.inode_start * BLOCK_SIZE + free_inos[1] * INODE_SIZE
+    image[off : off + INODE_SIZE] = b"\xa5" * INODE_SIZE
+
+
+def main() -> int:
+    """Run the four verification steps; 0 on success."""
+    step("building and dumping a flushed image ...")
+    image = build_image()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "disk.rio")
+        digest = dump_image(path, bytes(image), meta={"purpose": "verify-disk"})
+        payload, meta = load_image(path)
+        if payload != bytes(image) or meta["sha256"] != digest:
+            fail("image container round-trip changed the payload")
+    report = dissect_image(bytes(image))
+    if not report.clean:
+        fail(f"fresh flushed image is not clean: {report.counts_by_kind()}")
+    step(f"clean image OK ({report.blocks_total} blocks, sha256 {digest[:16]})")
+
+    step("injecting structural damage ...")
+    inject_damage(image)
+    report = dissect_image(bytes(image))
+    found = {f.kind for f in report.findings}
+    expected = {
+        FindingKind.SIZE_MISMATCH,
+        FindingKind.BITMAP_DISAGREEMENT,
+        FindingKind.MANGLED_INODE,
+    }
+    if not expected <= found:
+        fail(f"expected findings {expected - found} missing; got {report.counts_by_kind()}")
+    step(f"damage detected: {report.counts_by_kind()}")
+
+    step("fsck-vs-dissect divergence on the damaged image ...")
+    from repro.disk.device import SimulatedDisk
+    from repro.fs.fsck import fsck
+
+    disk = SimulatedDisk("verify", num_sectors=len(image) // 512)
+    install(disk, bytes(image))
+    fsck_report = fsck(disk)
+    # fsck repairs the leaked bit and clears the mangled slot, but the
+    # beyond-EOF ghost block is damage it does not look for: dissect of
+    # the pre-repair image vs fsck's verdict must diverge.
+    verdict = compare_verdicts(
+        fsck_unrecoverable=fsck_report.unrecoverable,
+        fsck_fix_count=fsck_report.fix_count,
+        report=report,
+    )
+    if verdict.agreed:
+        fail("constructed divergent image did not fire a DivergenceReport")
+    step(f"divergence fired: {verdict.details[0][:80]} ...")
+
+    step("mini crash campaign: second opinions must agree with fsck ...")
+    from repro.faults import FaultType
+    from repro.reliability.campaign import CrashTestConfig, run_crash_test
+
+    scanned = 0
+    for system in ("disk", "rio_noprot", "rio_prot"):
+        result = run_crash_test(
+            CrashTestConfig(system=system, fault_type=FaultType.KERNEL_STACK, seed=2)
+        )
+        if result.discarded or result.divergence is None:
+            continue
+        scanned += 1
+        if not result.divergence["agreed"]:
+            fail(
+                f"{system}: fsck and dissect diverged on a real trial: "
+                f"{result.divergence['details']}"
+            )
+    if scanned == 0:
+        fail("mini campaign produced no second opinions at all")
+    step(f"campaign OK ({scanned} trials cross-checked)")
+    print("verify-disk: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,14 @@ Commands:
   zero-lost-acks durability audit (exit 1 if any ack was lost).
 * ``loadgen`` — the same deterministic multi-client load with no storm:
   a pure throughput/latency measurement of the service.
+* ``dissect`` — the independent on-disk-format verifier: statically
+  analyze a disk image (``RIOIMG1`` container or raw bytes) and print
+  typed findings; exits non-zero when the image is not clean.
+* ``dump-disk`` — build a file system, optionally age it with seeded
+  churn, flush, and dump the disk to an image container.
+* ``load-disk`` — install a dumped image onto a fresh disk, run both
+  fsck and dissect over it, and report whether their verdicts agree
+  (exit 1 on divergence).
 
 Each accepts ``--scale`` to trade time for statistics.
 """
@@ -344,6 +352,125 @@ def cmd_loadgen(args) -> int:
     return 0 if result.ok else 1
 
 
+def _read_image(path: str) -> bytes:
+    """Image payload from ``path``: a ``RIOIMG1`` container (digest
+    verified) or, when the magic is absent, the file's raw bytes."""
+    from repro.fs.dissect import IMAGE_MAGIC, ImageFormatError, load_image
+
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(len(IMAGE_MAGIC))
+    except FileNotFoundError:
+        raise SystemExit(f"no such image: {path}")
+    if head == IMAGE_MAGIC:
+        try:
+            payload, _meta = load_image(path)
+        except ImageFormatError as exc:
+            raise SystemExit(f"bad image container {path}: {exc}")
+        return payload
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def cmd_dissect(args) -> int:
+    """Static analysis of a disk image with the independent verifier."""
+    from repro.fs.dissect import dissect_image
+
+    report = dissect_image(_read_image(args.image))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 0 if report.clean else 1
+
+
+def _age_filesystem(system, *, ops: int, seed: int) -> None:
+    """Seeded create/overwrite/unlink churn — ages an image for dumping.
+
+    Pure function of ``(ops, seed)`` so two dumps of the same
+    configuration produce byte-identical images.
+    """
+    import random
+
+    rng = random.Random(seed)
+    system.vfs.mkdir("/aged")
+    live: list[str] = []
+    for i in range(ops):
+        action = rng.random()
+        if live and action < 0.2:
+            system.vfs.unlink(live.pop(rng.randrange(len(live))))
+            continue
+        if live and action < 0.5:
+            path = rng.choice(live)
+        else:
+            path = f"/aged/f{i}"
+            live.append(path)
+        fd = system.vfs.open(path, create=True, truncate=True)
+        body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 4096)))
+        system.vfs.write(fd, body)
+        system.vfs.close(fd)
+
+
+def cmd_dump_disk(args) -> int:
+    """Build a file system, optionally age it, flush, and dump the image."""
+    from repro.fs.dissect import dump_image, snapshot
+    from repro.reliability.campaign import system_spec_for
+    from repro.system import build_system
+
+    system = build_system(system_spec_for(args.system, fs_blocks=args.blocks))
+    if args.age:
+        _age_filesystem(system, ops=args.age, seed=args.seed)
+    # Only a fully flushed image is expected to parse clean: on Rio the
+    # disk is legitimately stale between flushes.
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+    digest = dump_image(
+        args.out,
+        snapshot(system.disk),
+        meta={
+            "system": args.system,
+            "blocks": args.blocks,
+            "aged_ops": args.age,
+            "seed": args.seed,
+        },
+    )
+    print(f"wrote {args.out}: {args.blocks} blocks, sha256 {digest[:16]}")
+    return 0
+
+
+def cmd_load_disk(args) -> int:
+    """Install an image onto a fresh disk, fsck it, and cross-check with
+    the independent verifier; exit 1 when their verdicts diverge."""
+    from repro.disk.device import SimulatedDisk
+    from repro.fs.dissect import compare_verdicts, dissect_image, install
+    from repro.fs.dissect.layout import SECTOR_SIZE
+    from repro.fs.fsck import fsck
+
+    payload = _read_image(args.image)
+    if not payload or len(payload) % SECTOR_SIZE:
+        raise SystemExit(
+            f"image is {len(payload)} bytes: not a whole number of sectors"
+        )
+    # Dissect first — fsck repairs in place and would hide the evidence.
+    scan = dissect_image(payload)
+    disk = SimulatedDisk("image", num_sectors=len(payload) // SECTOR_SIZE)
+    install(disk, payload)
+    report = fsck(disk)
+    divergence = compare_verdicts(
+        fsck_unrecoverable=report.unrecoverable,
+        fsck_fix_count=report.fix_count,
+        report=scan,
+    )
+    print(scan.format())
+    print(
+        f"fsck: {report.fix_count} fix(es), "
+        + ("UNRECOVERABLE" if report.unrecoverable else "file system recovered")
+    )
+    print(divergence.format())
+    return 0 if divergence.agreed else 1
+
+
 def _add_traffic_flags(parser, *, crashes: int | None) -> None:
     parser.add_argument(
         "--system",
@@ -451,6 +578,33 @@ def main(argv: list[str] | None = None) -> int:
     _add_traffic_flags(ps, crashes=3)
     pl = sub.add_parser("loadgen", help="deterministic load, no crashes")
     _add_traffic_flags(pl, crashes=None)
+    pd = sub.add_parser(
+        "dissect", help="static analysis of a disk image (exit 1 on findings)"
+    )
+    pd.add_argument("image", help="RIOIMG1 container or raw image file")
+    pd.add_argument("--json", action="store_true", help="machine-readable report")
+    pdd = sub.add_parser("dump-disk", help="build and dump a disk image")
+    pdd.add_argument("out", help="output path (RIOIMG1 container)")
+    pdd.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    pdd.add_argument(
+        "--blocks", type=int, default=256, help="file system size in 8 KB blocks"
+    )
+    pdd.add_argument(
+        "--age",
+        type=int,
+        default=0,
+        metavar="OPS",
+        help="seeded churn operations to run before dumping (default 0)",
+    )
+    pdd.add_argument("--seed", type=int, default=1, help="churn seed")
+    pld = sub.add_parser(
+        "load-disk", help="fsck + dissect an image; exit 1 on divergence"
+    )
+    pld.add_argument("image", help="image produced by dump-disk")
     args = parser.parse_args(argv)
     return {
         "demo": cmd_demo,
@@ -462,6 +616,9 @@ def main(argv: list[str] | None = None) -> int:
         "lint": cmd_lint,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "dissect": cmd_dissect,
+        "dump-disk": cmd_dump_disk,
+        "load-disk": cmd_load_disk,
     }[args.command](args)
 
 

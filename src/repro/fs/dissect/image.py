@@ -1,0 +1,94 @@
+"""Disk images as dumpable, loadable, digest-verified forensic artifacts.
+
+An image file is a self-describing container:
+
+    RIOIMG1\\n
+    {"num_bytes": ..., "sector_size": ..., "sha256": ..., ...}\\n
+    <raw bytes>
+
+The JSON metadata line carries the canonical SHA-256 of the payload, so
+a loaded image proves it is the image that was dumped — the property the
+campaign journals rely on when they record ``image_sha256`` next to a
+trial's findings.  ``snapshot``/``install`` bridge to any disk-like
+object exposing ``peek``/``poke``/``num_sectors``/``sector_size`` (duck
+typing, so this module stays import-independent of ``repro.disk``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+IMAGE_MAGIC = b"RIOIMG1\n"
+
+
+class ImageFormatError(Exception):
+    """An image file that is not a valid RIOIMG1 container."""
+
+
+def image_sha256(data: bytes) -> str:
+    """The canonical digest of a raw image."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def snapshot(disk) -> bytes:
+    """The raw bytes of a simulated disk, committed state only."""
+    return bytes(disk.peek(0, disk.num_sectors))
+
+
+def install(disk, data: bytes) -> None:
+    """Write a raw image onto a simulated disk (sizes must match)."""
+    expected = disk.num_sectors * disk.sector_size
+    if len(data) != expected:
+        raise ImageFormatError(
+            f"image is {len(data)} bytes, disk holds {expected}"
+        )
+    disk.poke(0, data)
+
+
+def dump_image(path: str, data: bytes, *, sector_size: int = 512, meta: dict | None = None) -> str:
+    """Write an image container to ``path``; returns the payload digest."""
+    digest = image_sha256(data)
+    header = {
+        "num_bytes": len(data),
+        "sector_size": sector_size,
+        "sha256": digest,
+    }
+    if meta:
+        header.update(meta)
+    with open(path, "wb") as fh:
+        fh.write(IMAGE_MAGIC)
+        fh.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+        fh.write(data)
+    return digest
+
+
+def load_image(path: str) -> tuple[bytes, dict]:
+    """Read an image container; returns ``(payload, metadata)``.
+
+    Raises :class:`ImageFormatError` on a bad magic line, undecodable
+    metadata, a short payload, or a digest mismatch.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(IMAGE_MAGIC))
+        if magic != IMAGE_MAGIC:
+            raise ImageFormatError(f"{path}: not a RIOIMG1 container")
+        meta_line = fh.readline()
+        try:
+            meta = json.loads(meta_line)
+        except json.JSONDecodeError as exc:
+            raise ImageFormatError(f"{path}: bad metadata line: {exc}") from None
+        if not isinstance(meta, dict) or "num_bytes" not in meta or "sha256" not in meta:
+            raise ImageFormatError(f"{path}: metadata missing num_bytes/sha256")
+        data = fh.read(meta["num_bytes"])
+    if len(data) != meta["num_bytes"]:
+        raise ImageFormatError(
+            f"{path}: payload truncated ({len(data)} of {meta['num_bytes']} bytes)"
+        )
+    digest = image_sha256(data)
+    if digest != meta["sha256"]:
+        raise ImageFormatError(
+            f"{path}: payload digest {digest[:16]}... does not match "
+            f"recorded {meta['sha256'][:16]}..."
+        )
+    return data, meta

@@ -5,10 +5,26 @@ byte-level and detectable: the superblock and every inode carry magic
 numbers that ``fsck`` validates, exactly the kind of "consistency checks
 present in a production operating system" the paper credits for limiting
 crash damage.
+
+Layout version 2 grows the superblock into a proper FFS-style record:
+
+* a ``version`` field and a fixed 256-byte checksummed header, so a torn
+  or stale superblock is detectable even when the magic survives;
+* a Fletcher-32 checksum over the header (checksum field zeroed during
+  the computation);
+* cylinder-group-style *region summaries* — one 16-byte record per
+  on-disk region (superblock, bitmap, inode table, journal, data,
+  backup superblock) — derived from the geometry at serialization time
+  and cross-validated against it at parse time.
+
+Deserializers never raise a bare ``struct.error``: every failure mode —
+truncation, bad magic, unsupported version, checksum mismatch, impossible
+geometry, summary disagreement — raises :class:`CorruptStructure`.
 """
 
 from __future__ import annotations
 
+import enum
 import struct
 from dataclasses import dataclass, field
 
@@ -20,21 +36,53 @@ from repro.fs.types import (
     N_DIRECT,
     ROOT_INO,
 )
+from repro.util.checksum import fletcher32
 
 SUPERBLOCK_MAGIC = 0x52494F46  # "RIOF"
+#: On-disk layout version.  v1 had an unversioned, unchecksummed
+#: superblock; v2 (current) adds the version/checksum header and the
+#: region summary table.
+ONDISK_VERSION = 2
+#: The checksummed span at the start of the superblock's block.
+SUPERBLOCK_HEADER_SIZE = 256
+#: Byte offset of the checksum field inside the header.
+SUPERBLOCK_CHECKSUM_OFFSET = 48
+#: Byte offset of the first region summary record.
+REGION_SUMMARY_OFFSET = 64
+#: Magic of one region summary record ("RG", little-endian).
+REGION_SUMMARY_MAGIC = 0x4752
+REGION_SUMMARY_SIZE = 16
+
 INODE_MAGIC = 0x494E
 INODE_SIZE = 128
 INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE
 DIRENT_SIZE = 32
 DIRENTS_PER_BLOCK = BLOCK_SIZE // DIRENT_SIZE
 
-_SUPERBLOCK_FMT = struct.Struct("<IIIIIIIIIIBB2x")
+# magic, version, header_size, 9 geometry/identity words, clean,
+# mount_count, summary_count, pad, checksum, pad to REGION_SUMMARY_OFFSET.
+_SB_HEADER_FMT = struct.Struct("<IHH" + "I" * 9 + "BBBB" + "I" + "12x")
+_SB_SUMMARY_FMT = struct.Struct("<HBxIII")
 _INODE_FMT = struct.Struct("<HBxHxxQQ" + "I" * N_DIRECT + "II")
 _DIRENT_FMT = struct.Struct("<IB27s")
+
+assert _SB_HEADER_FMT.size == REGION_SUMMARY_OFFSET
+assert _SB_SUMMARY_FMT.size == REGION_SUMMARY_SIZE
 
 
 class CorruptStructure(FileSystemError):
     """A deserialized structure failed its validity checks."""
+
+
+class RegionKind(enum.IntEnum):
+    """What a region summary record describes."""
+
+    SUPER = 1
+    BITMAP = 2
+    INODE = 3
+    JOURNAL = 4
+    DATA = 5
+    BACKUP = 6
 
 
 @dataclass
@@ -61,29 +109,75 @@ class Superblock:
     def data_blocks(self) -> int:
         return self.total_blocks - self.data_start
 
+    def region_summaries(self) -> list[tuple[RegionKind, int, int]]:
+        """The (kind, start, blocks) summary records this geometry implies.
+
+        Derived, never stored in the dataclass: serialization writes them
+        and deserialization cross-checks them against the geometry words,
+        so a corruption that flips one but not the other is detectable.
+        """
+        regions = [
+            (RegionKind.SUPER, 0, 1),
+            (RegionKind.BITMAP, self.bitmap_start, self.bitmap_blocks),
+            (RegionKind.INODE, self.inode_start, self.inode_blocks),
+        ]
+        if self.journal_blocks:
+            regions.append((RegionKind.JOURNAL, self.journal_start, self.journal_blocks))
+        regions.append(
+            (RegionKind.DATA, self.data_start, self.total_blocks - 1 - self.data_start)
+        )
+        regions.append((RegionKind.BACKUP, self.total_blocks - 1, 1))
+        return regions
+
     def to_bytes(self) -> bytes:
-        packed = _SUPERBLOCK_FMT.pack(
+        # Field widths are enforced by masking (as Inode does): a
+        # fault-corrupted in-core superblock serializes to its on-disk
+        # truncation rather than raising a host-level struct error.
+        summaries = self.region_summaries()
+        header = bytearray(SUPERBLOCK_HEADER_SIZE)
+        _SB_HEADER_FMT.pack_into(
+            header,
+            0,
             SUPERBLOCK_MAGIC,
-            self.total_blocks,
-            self.bitmap_start,
-            self.bitmap_blocks,
-            self.inode_start,
-            self.inode_blocks,
-            self.data_start,
-            self.journal_start,
-            self.journal_blocks,
-            self.root_ino,
+            ONDISK_VERSION,
+            SUPERBLOCK_HEADER_SIZE,
+            self.total_blocks & 0xFFFFFFFF,
+            self.bitmap_start & 0xFFFFFFFF,
+            self.bitmap_blocks & 0xFFFFFFFF,
+            self.inode_start & 0xFFFFFFFF,
+            self.inode_blocks & 0xFFFFFFFF,
+            self.data_start & 0xFFFFFFFF,
+            self.journal_start & 0xFFFFFFFF,
+            self.journal_blocks & 0xFFFFFFFF,
+            self.root_ino & 0xFFFFFFFF,
             1 if self.clean else 0,
             self.mount_count & 0xFF,
+            len(summaries),
+            0,
+            0,  # checksum placeholder
         )
-        return packed + b"\x00" * (BLOCK_SIZE - len(packed))
+        for index, (kind, start, blocks) in enumerate(summaries):
+            _SB_SUMMARY_FMT.pack_into(
+                header,
+                REGION_SUMMARY_OFFSET + index * REGION_SUMMARY_SIZE,
+                REGION_SUMMARY_MAGIC,
+                int(kind) & 0xFF,
+                start & 0xFFFFFFFF,
+                blocks & 0xFFFFFFFF,
+                0,
+            )
+        checksum = fletcher32(bytes(header))
+        struct.pack_into("<I", header, SUPERBLOCK_CHECKSUM_OFFSET, checksum)
+        return bytes(header) + b"\x00" * (BLOCK_SIZE - SUPERBLOCK_HEADER_SIZE)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Superblock":
-        if len(data) < _SUPERBLOCK_FMT.size:
+        if len(data) < SUPERBLOCK_HEADER_SIZE:
             raise CorruptStructure("superblock truncated")
         (
             magic,
+            version,
+            header_size,
             total_blocks,
             bitmap_start,
             bitmap_blocks,
@@ -95,12 +189,21 @@ class Superblock:
             root_ino,
             clean,
             mount_count,
-        ) = _SUPERBLOCK_FMT.unpack(data[: _SUPERBLOCK_FMT.size])
+            summary_count,
+            _pad,
+            checksum,
+        ) = _SB_HEADER_FMT.unpack_from(data, 0)
         if magic != SUPERBLOCK_MAGIC:
             raise CorruptStructure(f"bad superblock magic {magic:#x}")
-        if not (0 < data_start <= total_blocks):
-            raise CorruptStructure("superblock geometry invalid")
-        return cls(
+        if version != ONDISK_VERSION:
+            raise CorruptStructure(f"unsupported layout version {version}")
+        if header_size != SUPERBLOCK_HEADER_SIZE:
+            raise CorruptStructure(f"bad superblock header size {header_size}")
+        zeroed = bytearray(data[:SUPERBLOCK_HEADER_SIZE])
+        zeroed[SUPERBLOCK_CHECKSUM_OFFSET : SUPERBLOCK_CHECKSUM_OFFSET + 4] = b"\x00" * 4
+        if fletcher32(bytes(zeroed)) != checksum:
+            raise CorruptStructure("superblock checksum mismatch (torn or stale write)")
+        sb = cls(
             total_blocks=total_blocks,
             bitmap_start=bitmap_start,
             bitmap_blocks=bitmap_blocks,
@@ -113,6 +216,45 @@ class Superblock:
             clean=bool(clean),
             mount_count=mount_count,
         )
+        sb._validate_geometry()
+        expected = sb.region_summaries()
+        if summary_count != len(expected):
+            raise CorruptStructure(
+                f"superblock summary count {summary_count} != {len(expected)}"
+            )
+        for index, (kind, start, blocks) in enumerate(expected):
+            record = _SB_SUMMARY_FMT.unpack_from(
+                data, REGION_SUMMARY_OFFSET + index * REGION_SUMMARY_SIZE
+            )
+            if record != (REGION_SUMMARY_MAGIC, int(kind), start, blocks, 0):
+                raise CorruptStructure(
+                    f"superblock region summary {index} disagrees with geometry"
+                )
+        return sb
+
+    def _validate_geometry(self) -> None:
+        """Raise :class:`CorruptStructure` unless the regions are ordered
+        and non-overlapping: super < bitmap < inodes [< journal] < data,
+        with the backup superblock in the last block."""
+        if not (0 < self.data_start <= self.total_blocks):
+            raise CorruptStructure("superblock geometry invalid")
+        if self.bitmap_start < 1 or self.bitmap_blocks < 1:
+            raise CorruptStructure("superblock bitmap region invalid")
+        if self.bitmap_blocks * BLOCK_SIZE * 8 < self.total_blocks:
+            raise CorruptStructure("superblock bitmap too small for total blocks")
+        if self.inode_start < self.bitmap_start + self.bitmap_blocks:
+            raise CorruptStructure("superblock inode region overlaps bitmap")
+        if self.inode_blocks < 1:
+            raise CorruptStructure("superblock inode region empty")
+        metadata_end = self.inode_start + self.inode_blocks
+        if self.journal_blocks:
+            if self.journal_start < metadata_end:
+                raise CorruptStructure("superblock journal region overlaps inodes")
+            metadata_end = self.journal_start + self.journal_blocks
+        if self.data_start < metadata_end:
+            raise CorruptStructure("superblock data region overlaps metadata")
+        if not (0 < self.root_ino < self.num_inodes):
+            raise CorruptStructure(f"superblock root inode {self.root_ino} out of range")
 
 
 @dataclass
@@ -137,6 +279,10 @@ class Inode:
         # inode (e.g. nlink driven negative) serializes to its on-disk
         # truncation, as real hardware would store it, rather than
         # raising a host-level struct error.
+        if len(self.direct) != N_DIRECT:
+            raise FileSystemError(
+                f"inode {self.ino}: {len(self.direct)} direct pointers"
+            )
         return _INODE_FMT.pack(
             INODE_MAGIC,
             int(self.ftype) & 0xFF,
@@ -189,6 +335,8 @@ class DirEntry:
         encoded = self.name.encode()
         if not 0 < len(encoded) <= MAX_NAME:
             raise FileSystemError(f"name length {len(encoded)} invalid")
+        if b"\x00" in encoded:
+            raise FileSystemError("name contains NUL")
         return _DIRENT_FMT.pack(self.ino & 0xFFFFFFFF, len(encoded), encoded)
 
     @classmethod
@@ -202,8 +350,11 @@ class DirEntry:
             return None
         if name_len == 0 or name_len > MAX_NAME:
             return None
+        raw = raw[:name_len]
+        if b"\x00" in raw:
+            return None
         try:
-            name = raw[:name_len].decode()
+            name = raw.decode()
         except UnicodeDecodeError:
             return None
         return cls(ino=ino, name=name)

@@ -101,6 +101,12 @@ class ForensicReport:
     detectors: List[str]
     events_total: int
     notes: List[str] = field(default_factory=list)
+    #: sha256 of the post-recovery disk image (when the trial ran dissect)
+    image_sha256: Optional[str] = None
+    #: serialized findings from the independent dissect verifier
+    dissect_findings: List[Dict[str, Any]] = field(default_factory=list)
+    #: serialized ``DivergenceReport`` comparing fsck and dissect verdicts
+    divergence: Optional[Dict[str, Any]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -116,6 +122,9 @@ class ForensicReport:
             "detectors": self.detectors,
             "events_total": self.events_total,
             "notes": self.notes,
+            "image_sha256": self.image_sha256,
+            "dissect_findings": self.dissect_findings,
+            "divergence": self.divergence,
         }
 
 
@@ -138,6 +147,12 @@ def _detector_evidence(result: Dict[str, Any]) -> List[str]:
         out.append("recovery: warm reboot / fsck could not restore the fs")
     if result.get("protection_trap"):
         out.append("protection trap: the wild store was stopped before the cache")
+    divergence = result.get("divergence")
+    if divergence and not divergence.get("agreed", True):
+        out.append(
+            "independent verifier: dissect disagreed with fsck about the "
+            "post-recovery image (see the second-opinion section)"
+        )
     return out
 
 
@@ -229,6 +244,9 @@ def build_forensic_report(
         detectors=_detector_evidence(result),
         events_total=len(events),
         notes=notes,
+        image_sha256=result.get("image_sha256"),
+        dissect_findings=list(result.get("dissect_findings") or []),
+        divergence=result.get("divergence"),
     )
 
 
@@ -261,6 +279,19 @@ def format_forensic_report(report: ForensicReport) -> str:
             lines.append(f"    - {line}")
     else:
         lines.append("  detector evidence: none (no corruption detected)")
+    if report.image_sha256:
+        verdict = "agreed" if (report.divergence or {}).get("agreed", True) else "DIVERGED"
+        lines.append(
+            f"  second opinion:   dissect scanned image {report.image_sha256[:16]} "
+            f"({len(report.dissect_findings)} finding(s)); fsck/dissect {verdict}"
+        )
+        for finding in report.dissect_findings[:5]:
+            lines.append(
+                f"    - {finding.get('kind', '?')} at {finding.get('where', '?')}: "
+                f"{finding.get('detail', '')}"
+            )
+        for detail in (report.divergence or {}).get("details", []):
+            lines.append(f"    divergence: {detail}")
     for note in report.notes:
         lines.append(f"  note: {note}")
     lines.append(f"  events recorded: {report.events_total}")

@@ -16,6 +16,7 @@ from repro.reliability.campaign import (
     CrashTestConfig,
     CrashTestResult,
     SYSTEM_NAMES,
+    dissect_second_opinion,
     run_crash_test,
     system_spec_for,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "CrashTestConfig",
     "CrashTestResult",
     "SYSTEM_NAMES",
+    "dissect_second_opinion",
     "run_crash_test",
     "system_spec_for",
     "CampaignCell",

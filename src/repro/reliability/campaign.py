@@ -160,6 +160,14 @@ class CrashTestResult:
     #: table1 digests) serialize exactly as before.
     trace_events: Optional[list] = None
     event_digest: Optional[str] = None
+    #: Second opinion from the independent dissect verifier, run over the
+    #: post-fsck disk image of every crashed trial: the image's canonical
+    #: digest, the typed findings (JSON dicts), and the fsck-vs-dissect
+    #: :class:`~repro.fs.dissect.DivergenceReport` (JSON dict).  None on
+    #: discarded/diskless runs; left out of ``to_json_dict`` when None.
+    image_sha256: Optional[str] = None
+    dissect_findings: Optional[list] = None
+    divergence: Optional[dict] = None
     #: The recovered System (populated after recovery only when the
     #: config sets ``keep_system``; white-box tests inspect it).  Never
     #: serialized: ``detach``/``__getstate__`` strip it.
@@ -173,6 +181,12 @@ class CrashTestResult:
             or self.static_copy_mismatch
             or self.recovery_failed
         )
+
+    @property
+    def diverged(self) -> bool:
+        """fsck and the dissect verifier disagreed about this trial's
+        post-recovery image (always False when the verifier did not run)."""
+        return bool(self.divergence) and not self.divergence["agreed"]
 
     def detach(self) -> "CrashTestResult":
         """Drop the live ``_system`` back-reference; returns ``self``."""
@@ -193,7 +207,17 @@ class CrashTestResult:
             name: value
             for name, value in self.__dict__.items()
             if name not in ("_system", "config", "memtest_problems")
-            and not (name in ("trace_events", "event_digest") and value is None)
+            and not (
+                name
+                in (
+                    "trace_events",
+                    "event_digest",
+                    "image_sha256",
+                    "dissect_findings",
+                    "divergence",
+                )
+                and value is None
+            )
         }
         data["config"] = self.config.to_json_dict()
         data["memtest_problems"] = [
@@ -238,6 +262,30 @@ def _check_static_files(fs) -> bool:
     except FileSystemError:
         return True
     return contents[0] != contents[1] or contents[0] != expected
+
+
+def dissect_second_opinion(system, reboot, result: CrashTestResult) -> None:
+    """Run the independent verifier over the post-fsck disk image.
+
+    Populates ``image_sha256``, ``dissect_findings`` and ``divergence``
+    on the result.  Runs at the one point in the trial where the on-disk
+    state is supposed to be consistent — immediately after
+    ``System.reboot`` (fsck has repaired, nothing has re-dirtied the
+    caches) — because on a live Rio system the disk is *legitimately*
+    stale between flushes and a mid-run scan would prove nothing.
+    """
+    from repro.fs.dissect import compare_verdicts, dissect_image, snapshot
+
+    if system.disk is None or reboot.fsck is None:
+        return
+    report = dissect_image(snapshot(system.disk))
+    result.image_sha256 = report.image_sha256
+    result.dissect_findings = [f.to_json_dict() for f in report.findings]
+    result.divergence = compare_verdicts(
+        fsck_unrecoverable=reboot.fsck.unrecoverable,
+        fsck_fix_count=reboot.fsck.fix_count,
+        report=report,
+    ).to_json_dict()
 
 
 def run_crash_test(
@@ -353,6 +401,9 @@ def run_crash_test(
     except Exception:
         result.recovery_failed = True
         return finish(result)
+    # Second opinion before any detection I/O can dirty the caches: the
+    # independent dissect verifier walks the image exactly as fsck left it.
+    dissect_second_opinion(system, reboot, result)
     if reboot.fsck is not None:
         result.fsck_fixes = reboot.fsck.fix_count
         if reboot.fsck.unrecoverable:

@@ -606,10 +606,13 @@ class CampaignEngine:
 
     def _emit_cell_line(self, cs: _CellState) -> None:
         cell = cs.cell
-        self._say(
+        line = (
             f"{cs.system}/{cs.fault_type.value}: {cell.crashes} crashes, "
             f"{cell.corruptions} corruptions, {cell.discarded} discarded"
         )
+        if cell.divergences:
+            line += f", {cell.divergences} fsck/dissect divergences"
+        self._say(line)
 
     def _emit_progress(self, force: bool = False) -> None:
         if self.progress is None:
@@ -621,9 +624,11 @@ class CampaignEngine:
         crashes = sum(cs.cell.crashes for cs in self._cells)
         target = sum(cs.target for cs in self._cells)
         discarded = sum(cs.cell.discarded for cs in self._cells)
+        diverged = sum(cs.cell.divergences for cs in self._cells)
         self._say(
             f"[engine] {crashes}/{target} crashes counted, {discarded} discarded, "
-            f"{self.stats.worker_crashes} worker-crashed "
+            + (f"{diverged} fsck/dissect divergences, " if diverged else "")
+            + f"{self.stats.worker_crashes} worker-crashed "
             f"({self.stats.executed} trials run, "
             f"{self.stats.from_checkpoint} from checkpoint); eta {self._eta()}"
         )

@@ -40,6 +40,9 @@ class CampaignCell:
     corruptions: int = 0
     discarded: int = 0
     protection_trap_saves: int = 0
+    #: Trials where fsck and the independent dissect verifier disagreed
+    #: about the post-recovery image (see ``repro.fs.dissect``).
+    divergences: int = 0
     crash_kinds: dict = field(default_factory=dict)
     results: list = field(default_factory=list)
     #: Ordering keys parallel to ``results`` (``record``'s ``order``);
@@ -72,6 +75,8 @@ class CampaignCell:
             self.corruptions += 1
         if result.protection_trap:
             self.protection_trap_saves += 1
+        if result.diverged:
+            self.divergences += 1
 
     def to_json_dict(self) -> dict:
         return {
@@ -81,6 +86,7 @@ class CampaignCell:
             "corruptions": self.corruptions,
             "discarded": self.discarded,
             "protection_trap_saves": self.protection_trap_saves,
+            "divergences": self.divergences,
             "crash_kinds": dict(sorted(self.crash_kinds.items())),
             "results": [r.to_json_dict() for r in self.results],
         }
@@ -113,6 +119,10 @@ class Table1:
         return sum(
             c.protection_trap_saves for (s, _), c in self.cells.items() if s == system
         )
+
+    def total_divergences(self, system: str) -> int:
+        """fsck-vs-dissect divergences across the system's cells."""
+        return sum(c.divergences for (s, _), c in self.cells.items() if s == system)
 
     def unique_crash_messages(self) -> int:
         reasons = set()
@@ -187,10 +197,13 @@ def run_table1_campaign(
                 cell.record(run_crash_test(config))
                 attempt += 1
             if progress is not None:
-                progress(
+                line = (
                     f"{system}/{fault_type.value}: {cell.crashes} crashes, "
                     f"{cell.corruptions} corruptions, {cell.discarded} discarded"
                 )
+                if cell.divergences:
+                    line += f", {cell.divergences} fsck/dissect divergences"
+                progress(line)
     return table
 
 
@@ -233,4 +246,10 @@ def format_table1(table: Table1, systems: tuple = SYSTEM_NAMES) -> str:
         rate = 100.0 * table.corruption_rate(system)
         totals += f"{corruptions} of {crashes} ({rate:.1f}%)".ljust(width + 4)
     lines.append(totals)
+    # Second-opinion footer: only when the independent verifier disagreed
+    # with fsck somewhere (so tables without divergences are unchanged).
+    diverged = {s: table.total_divergences(s) for s in systems}
+    if any(diverged.values()):
+        parts = ", ".join(f"{s}: {n}" for s, n in diverged.items() if n)
+        lines.append(f"fsck/dissect divergences  {parts}")
     return "\n".join(lines)

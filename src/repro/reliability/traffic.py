@@ -86,6 +86,14 @@ class TrafficResult:
     transparent_retries: int = 0
     final_audit_ok: bool = False
     load: Optional[LoadReport] = None
+    #: Independent-verifier second opinions: one dissect scan after each
+    #: storm recovery (post-fsck) plus one of the final flushed image.
+    dissect_scans: int = 0
+    dissect_divergences: int = 0
+    divergence_details: list = field(default_factory=list)
+    final_image_sha256: str = ""
+    final_dissect_findings: int = 0
+    final_dissect_clean: bool = False
 
     @property
     def ok(self) -> bool:
@@ -125,6 +133,12 @@ class TrafficResult:
             "ok": self.ok,
             "ack_digest": self.ack_digest,
             "state_digest": self.state_digest,
+            "dissect_scans": self.dissect_scans,
+            "dissect_divergences": self.dissect_divergences,
+            "divergence_details": list(self.divergence_details),
+            "final_image_sha256": self.final_image_sha256,
+            "final_dissect_findings": self.final_dissect_findings,
+            "final_dissect_clean": self.final_dissect_clean,
         }
 
 
@@ -200,6 +214,27 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     service = FileService(system, service_config)
     storm = _CrashStorm(system, config)
     service.before_execute = storm
+
+    # Second opinion after every storm recovery: the reboot hook runs at
+    # the end of System.reboot, when fsck has just blessed the disk — the
+    # one mid-campaign point where the on-disk state claims consistency.
+    from repro.fs.dissect import compare_verdicts, dissect_image, snapshot
+
+    scans: List = []
+
+    def dissect_after_recovery(sys_, report) -> None:
+        if sys_.disk is None or report.fsck is None:
+            return
+        scan = dissect_image(snapshot(sys_.disk))
+        scans.append(
+            compare_verdicts(
+                fsck_unrecoverable=report.fsck.unrecoverable,
+                fsck_fix_count=report.fsck.fix_count,
+                report=scan,
+            )
+        )
+
+    system.add_reboot_hook(dissect_after_recovery)
     clients = [
         LoadClient(client_id, seed=config.seed, spec=config.load)
         for client_id in range(config.clients)
@@ -219,6 +254,23 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     final = service.audit()
     result.final_audit_ok = final.ok
     result.lost_acks += len(final.lost)
+
+    # Final second opinion: flush everything, then dissect the quiesced
+    # image (mid-run the Rio disk is legitimately stale, so only a fully
+    # flushed image is expected to parse clean).
+    result.dissect_scans = len(scans)
+    result.dissect_divergences = sum(1 for d in scans if not d.agreed)
+    for d in scans:
+        result.divergence_details.extend(d.details)
+    if system.disk is not None:
+        system.fs.flush_data(sync=True)
+        system.fs.flush_metadata(sync=True)
+        system.drain_disks()
+        final_scan = dissect_image(snapshot(system.disk))
+        result.dissect_scans += 1
+        result.final_image_sha256 = final_scan.image_sha256
+        result.final_dissect_findings = len(final_scan.findings)
+        result.final_dissect_clean = final_scan.clean
     return result
 
 
@@ -249,6 +301,12 @@ def format_traffic_report(result: TrafficResult) -> str:
         f"{load.latency_percentile(0.99) / 1e6:.2f} ms (virtual)",
         f"  ack digest      {result.ack_digest[:16]}",
         f"  state digest    {result.state_digest[:16]}",
+        f"  dissect         {result.dissect_scans} scans, "
+        f"{result.dissect_divergences} fsck divergences, final image "
+        + ("CLEAN" if result.final_dissect_clean else f"{result.final_dissect_findings} findings")
+        + f" ({result.final_image_sha256[:16]})",
         f"  verdict         {'ZERO LOST ACKS' if result.ok else 'ACKS LOST'}",
     ]
+    for detail in result.divergence_details[:5]:
+        lines.append(f"  divergence      {detail}")
     return "\n".join(lines)
