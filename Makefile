@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint docstrings serve-smoke verify-disk bench bench-full bench-interp forensics-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke verify-disk bench bench-full bench-interp forensics-smoke explore-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -55,6 +55,17 @@ forensics-smoke:
 	grep -q "first divergent store" forensics-smoke.out
 	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces forensics-smoke.out
 
+# Exhaustive crash-point sweep on a clean kernel: every boundary of a
+# small workload crashed at --jobs 2; requires 100% coverage and zero
+# spec violations (the command exits 1 on violations, 2 if incomplete).
+explore-smoke:
+	rm -rf explore-smoke.out
+	PYTHONPATH=src $(PY) -m repro explore basic --ops 0 --jobs 2 \
+		| tee explore-smoke.out
+	grep -q "(100.0%)" explore-smoke.out
+	grep -q "violations: none" explore-smoke.out
+	rm -rf explore-smoke.out
+
 examples:
 	$(PY) examples/quickstart.py
 	$(PY) examples/crash_survival.py
@@ -80,5 +91,5 @@ table2:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results
-	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces
+	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces explore-smoke.out
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -20,7 +20,7 @@ import pathlib
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_TARGETS = ("src/repro/server", "src/repro/__main__.py")
+DEFAULT_TARGETS = ("src/repro/server", "src/repro/explore", "src/repro/__main__.py")
 
 
 def _is_public(name: str) -> bool:

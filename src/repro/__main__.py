@@ -23,6 +23,13 @@ Commands:
   zero-lost-acks durability audit (exit 1 if any ack was lost).
 * ``loadgen`` — the same deterministic multi-client load with no storm:
   a pure throughput/latency measurement of the service.
+* ``explore`` — the exhaustive crash-point explorer: enumerate every
+  store/flush/shadow-flip boundary in one workload run, crash at each,
+  and hold the recovery to the declared crash-consistency spec.
+  ``--jobs N`` fans boundaries across workers (identical report at any
+  N); ``--resume PATH`` checkpoints verdicts; ``--replay INDEX``
+  re-runs one counterexample by its event index.  Exits 1 on spec
+  violations, 2 on an incomplete sweep.
 * ``dissect`` — the independent on-disk-format verifier: statically
   analyze a disk image (``RIOIMG1`` container or raw bytes) and print
   typed findings; exits non-zero when the image is not clean.
@@ -352,6 +359,75 @@ def cmd_loadgen(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_explore(args) -> int:
+    """Exhaustive boundary sweep (or one-counterexample replay)."""
+    from repro.explore import (
+        ExploreConfig,
+        ExploreError,
+        explore,
+        format_explore_report,
+        replay,
+    )
+
+    config = ExploreConfig(
+        workload=args.workload,
+        system=args.system,
+        seed=args.seed,
+        ops=args.ops,
+        clients=args.clients,
+        ops_per_client=args.ops_per_client,
+        plant_ack_bug=args.plant_ack_bug,
+    )
+    if args.replay is not None:
+        try:
+            verdict = replay(config, args.replay, artifact_dir=args.artifacts)
+        except ExploreError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            import json
+
+            print(json.dumps(verdict.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"replayed {config.workload} seed {config.seed} "
+                f"event {args.replay} ({verdict.boundary.key()}): "
+                + ("spec holds" if verdict.ok else "SPEC VIOLATED")
+            )
+            for violation in verdict.violations:
+                print(f"  [{violation.clause}] {violation.detail}")
+            if verdict.artifact_image:
+                print(f"  image: {verdict.artifact_image}")
+            if verdict.artifact_report:
+                print(f"  forensics: {verdict.artifact_report}")
+        return 0 if verdict.ok else 1
+    print(
+        f"exploring {config.workload} on {config.system} "
+        f"(seed {config.seed}, {args.jobs} job(s)) ...",
+        file=sys.stderr,
+    )
+    progress = lambda line: print("  " + line, file=sys.stderr)  # noqa: E731
+    try:
+        report = explore(
+            config,
+            jobs=args.jobs,
+            checkpoint=args.resume,
+            artifact_dir=args.artifacts,
+            progress=progress,
+        )
+    except ExploreError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_explore_report(report))
+    if not report.complete:
+        print("sweep incomplete; re-run with --resume to continue", file=sys.stderr)
+        return 2
+    return 1 if report.violations else 0
+
+
 def _read_image(path: str) -> bytes:
     """Image payload from ``path``: a ``RIOIMG1`` container (digest
     verified) or, when the magic is absent, the file's raw bytes."""
@@ -578,6 +654,65 @@ def main(argv: list[str] | None = None) -> int:
     _add_traffic_flags(ps, crashes=3)
     pl = sub.add_parser("loadgen", help="deterministic load, no crashes")
     _add_traffic_flags(pl, crashes=None)
+    pe = sub.add_parser(
+        "explore",
+        help="exhaustive crash-point sweep against the spec (exit 1 on violations)",
+    )
+    pe.add_argument(
+        "workload",
+        nargs="?",
+        default="basic",
+        help="basic | traffic (default basic)",
+    )
+    pe.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    pe.add_argument("--seed", type=int, default=1, help="workload seed")
+    pe.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1: serial)",
+    )
+    pe.add_argument(
+        "--ops", type=int, default=8, help="basic: seeded write rounds (default 8)"
+    )
+    pe.add_argument(
+        "--clients", type=int, default=2, help="traffic: clients (default 2)"
+    )
+    pe.add_argument(
+        "--ops-per-client",
+        type=int,
+        default=4,
+        help="traffic: programs per client (default 4)",
+    )
+    pe.add_argument(
+        "--plant-ack-bug",
+        action="store_true",
+        help="traffic: switch on the planted ack-before-execute ordering bug",
+    )
+    pe.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint journal: created if missing, resumed if present",
+    )
+    pe.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="directory for counterexample images + forensics reports",
+    )
+    pe.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="re-run exactly one counterexample by its event index",
+    )
+    pe.add_argument("--json", action="store_true", help="machine-readable report")
     pd = sub.add_parser(
         "dissect", help="static analysis of a disk image (exit 1 on findings)"
     )
@@ -616,6 +751,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": cmd_lint,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "explore": cmd_explore,
         "dissect": cmd_dissect,
         "dump-disk": cmd_dump_disk,
         "load-disk": cmd_load_disk,

@@ -1,0 +1,73 @@
+"""Exhaustive crash-point exploration against a declared spec.
+
+The reliability campaigns (:mod:`repro.reliability`) *sample* the crash
+space with random fault injection; this package *sweeps* it.  One clean
+run of a deterministic workload under the flight recorder enumerates
+every store/cache-write/writeback-flush/shadow-flip/registry-update/ack
+boundary in the event stream; the explorer then re-runs the workload
+once per boundary, forces a crash at exactly that event, warm-reboots,
+and holds the recovered system to a declared, composable
+crash-consistency spec — acknowledged data durable, metadata atomic,
+shadow pages never torn, fsck and the independent verifier in
+agreement.  Violations are typed counterexamples replayable by
+``(seed, event_index)``, with the post-recovery image and a forensics
+report dumped alongside.
+
+Modules: :mod:`~repro.explore.boundaries` (the crash-point work list),
+:mod:`~repro.explore.spec` (the declared spec),
+:mod:`~repro.explore.workloads` (deterministic drivers with durability
+models), :mod:`~repro.explore.explorer` (enumeration, per-boundary
+trials, the parallel sweep, replay, rendering).
+"""
+
+from repro.explore.boundaries import (
+    Boundary,
+    boundary_census,
+    enumerate_boundaries,
+)
+from repro.explore.explorer import (
+    BoundaryVerdict,
+    EnumerationResult,
+    ExploreError,
+    ExploreReport,
+    explore,
+    format_explore_report,
+    replay,
+    replay_command,
+    run_boundary_trial,
+    run_enumeration,
+    run_trial_task,
+)
+from repro.explore.spec import (
+    CrashContext,
+    CrashSpec,
+    SpecClause,
+    SpecViolation,
+    default_spec,
+)
+from repro.explore.workloads import ExploreConfig, WORKLOAD_NAMES, build_run
+
+__all__ = [
+    "Boundary",
+    "BoundaryVerdict",
+    "CrashContext",
+    "CrashSpec",
+    "EnumerationResult",
+    "ExploreConfig",
+    "ExploreError",
+    "ExploreReport",
+    "SpecClause",
+    "SpecViolation",
+    "WORKLOAD_NAMES",
+    "boundary_census",
+    "build_run",
+    "default_spec",
+    "enumerate_boundaries",
+    "explore",
+    "format_explore_report",
+    "replay",
+    "replay_command",
+    "run_boundary_trial",
+    "run_enumeration",
+    "run_trial_task",
+]

@@ -10,24 +10,30 @@ and the detector evidence.
 """
 
 from repro.obs.events import (
+    BOUNDARY_EVENT_KEYS,
     DEFAULT_EVENT_CAP,
     Event,
     FlightRecorder,
     events_digest,
+    is_boundary,
 )
 from repro.obs.forensics import (
     ForensicReport,
+    NoDivergence,
     build_forensic_report,
     first_divergence,
     format_forensic_report,
 )
 
 __all__ = [
+    "BOUNDARY_EVENT_KEYS",
     "DEFAULT_EVENT_CAP",
     "Event",
     "FlightRecorder",
     "events_digest",
+    "is_boundary",
     "ForensicReport",
+    "NoDivergence",
     "build_forensic_report",
     "first_divergence",
     "format_forensic_report",

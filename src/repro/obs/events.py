@@ -37,6 +37,41 @@ from typing import Any, Dict, Iterable, List, Optional
 #: 64k leaves generous headroom without unbounded memory growth.
 DEFAULT_EVENT_CAP = 65536
 
+#: The crash-point boundary taxonomy: every ``(kind, op)`` whose
+#: emission marks a store/flush/shadow-flip/registry/ack synchronization
+#: point the crash-point explorer must crash at.  Each of these events
+#: is emitted *before* (or atomically around) the state change it
+#: names, so "crash at boundary N" means "the machine dies the instant
+#: event N is recorded, before the store it announces lands":
+#:
+#: * ``cache/write``   — a file-cache page store (emitted pre-copy);
+#: * ``cache/fill``    — a cache fill from disk;
+#: * ``wb/flush``      — a writeback flush (emitted pre-disk-write);
+#: * ``shadow/begin-write`` / ``shadow/end-write`` — the Rio guard's
+#:   shadow-page flip around an in-place metadata write;
+#: * ``registry/update`` — a registry-entry store (emitted pre-store);
+#: * ``server/ack``    — the file service acknowledging a request (the
+#:   durability promise the crash-consistency spec holds it to).
+#:
+#: Boundary identity is the event's ``seq`` — stable across re-runs
+#: because both execution engines emit byte-identical streams.
+BOUNDARY_EVENT_KEYS = (
+    ("cache", "write"),
+    ("cache", "fill"),
+    ("wb", "flush"),
+    ("shadow", "begin-write"),
+    ("shadow", "end-write"),
+    ("registry", "update"),
+    ("server", "ack"),
+)
+
+_BOUNDARY_SET = frozenset(BOUNDARY_EVENT_KEYS)
+
+
+def is_boundary(kind: str, op: str) -> bool:
+    """True when ``(kind, op)`` is a crash-point boundary event."""
+    return (kind, op) in _BOUNDARY_SET
+
 #: The event taxonomy (the ``kind`` axis).  Documented in
 #: INTERNALS.md "Observability"; kept here so tools can validate.
 EVENT_KINDS = (
@@ -116,6 +151,8 @@ class FlightRecorder:
         self.enabled = False
         self._events: deque = deque(maxlen=cap)
         self._seq = 0
+        self._crash_seq: Optional[int] = None
+        self._crash_hook = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -136,6 +173,31 @@ class FlightRecorder:
         self._events.clear()
         self._seq = 0
 
+    # -- armed crash points --------------------------------------------
+
+    def arm_crash(self, seq: int, hook) -> None:
+        """Arm a one-shot crash point at event sequence number ``seq``.
+
+        The instant the event with that ``seq`` is appended —
+        *before* the store/flush/flip it announces takes effect —
+        ``hook(event)`` runs with the crash point already disarmed.
+        The crash-point explorer's hook brings the machine down (by
+        raising a :class:`~repro.errors.SystemCrash` out of the
+        emitting call site), turning every recorded boundary into a
+        reachable, deterministic crash.  Because both execution
+        engines emit byte-identical streams, the event at ``seq`` in a
+        re-run is exactly the event at ``seq`` in the enumeration run.
+        """
+        if seq < 0:
+            raise ValueError(f"crash seq must be non-negative, got {seq}")
+        self._crash_seq = seq
+        self._crash_hook = hook
+
+    def disarm_crash(self) -> None:
+        """Remove any armed crash point (idempotent)."""
+        self._crash_seq = None
+        self._crash_hook = None
+
     # -- recording -----------------------------------------------------
 
     def emit(self, kind: str, op: str, /, **payload: Any) -> None:
@@ -149,8 +211,13 @@ class FlightRecorder:
         if not self.enabled:
             return
         vtime = self._clock.now_ns if self._clock is not None else 0
-        self._events.append(Event(self._seq, kind, op, vtime, payload))
+        event = Event(self._seq, kind, op, vtime, payload)
+        self._events.append(event)
         self._seq += 1
+        if self._crash_seq is not None and event.seq == self._crash_seq:
+            hook = self._crash_hook
+            self.disarm_crash()  # one-shot: recovery emissions must not re-fire
+            hook(event)
 
     # -- reading -------------------------------------------------------
 

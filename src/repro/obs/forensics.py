@@ -46,6 +46,31 @@ STORE_EVENT_KEYS = {
 }
 
 
+@dataclass(frozen=True)
+class NoDivergence:
+    """Typed "there is no divergent store" outcome.
+
+    Some trials legitimately have no first divergent store: the crash
+    fired at event index 0 with no prior store (the crash-point
+    explorer's first boundary), the fault never influenced any recorded
+    operation, or no fault was injected at all.  Reporting ``None``
+    for those renders an empty section indistinguishable from "the
+    builder forgot to look"; this type names the reason instead.
+    """
+
+    reason: str
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"no_divergence": True, "reason": self.reason}
+
+
+def _store_to_json(value) -> Optional[Dict[str, Any]]:
+    """Serialize a first-divergent-store slot (event dict or typed miss)."""
+    if isinstance(value, NoDivergence):
+        return value.to_json_dict()
+    return value
+
+
 def _comparable(event: Dict[str, Any]) -> Tuple[str, str, str]:
     """Diff key for one serialized event: kind, op, canonical payload."""
     return (
@@ -93,8 +118,9 @@ class ForensicReport:
     fault_events: List[Dict[str, Any]]
     #: first event differing from the clean baseline (or heuristic pick)
     first_divergence: Optional[Dict[str, Any]]
-    #: first store-class event at/after the divergence
-    first_divergent_store: Optional[Dict[str, Any]]
+    #: first store-class event at/after the divergence, or a typed
+    #: :class:`NoDivergence` naming why none exists (never a bare None)
+    first_divergent_store: Any
     #: "baseline-diff" | "heuristic" | "none"
     divergence_basis: str
     crash: Optional[Dict[str, Any]]
@@ -116,7 +142,7 @@ class ForensicReport:
             "injection": self.injection,
             "fault_events": self.fault_events,
             "first_divergence": self.first_divergence,
-            "first_divergent_store": self.first_divergent_store,
+            "first_divergent_store": _store_to_json(self.first_divergent_store),
             "divergence_basis": self.divergence_basis,
             "crash": self.crash,
             "detectors": self.detectors,
@@ -187,8 +213,9 @@ def build_forensic_report(
     crash = next((e for e in events if e["kind"] == "crash"), None)
 
     divergence: Optional[Dict[str, Any]] = None
-    divergent_store: Optional[Dict[str, Any]] = None
+    divergent_store: Any = None
     basis = "none"
+    no_divergence_reason: Optional[str] = None
 
     if baseline is not None:
         idx, div = first_divergence(events, baseline)
@@ -196,16 +223,20 @@ def build_forensic_report(
             basis = "baseline-diff"
             divergence = div
             divergent_store = _first_store_at_or_after(_filtered(events), idx)
+            no_divergence_reason = (
+                "no store-class event at or after the divergence point"
+            )
             if div is None:
                 notes.append(
                     "faulted stream ended before the baseline's — the crash "
                     "truncated it; divergence index is the truncation point"
                 )
         else:
-            notes.append(
+            no_divergence_reason = (
                 "event stream identical to the clean baseline — the fault "
                 "never influenced any recorded operation"
             )
+            notes.append(no_divergence_reason)
     elif injection is not None:
         basis = "heuristic"
         notes.append(
@@ -223,13 +254,38 @@ def build_forensic_report(
         )
         divergent_store = trap or _first_store_at_or_after(events, start)
         divergence = divergent_store
+        no_divergence_reason = (
+            "no store-class event recorded after the injection marker"
+        )
     else:
-        notes.append("trial crashed before any fault was injected")
+        # No fault was ever injected — e.g. a crash-point-explorer trial
+        # or a trial that died before its injection op.
+        if crash is not None:
+            crash_pos = events.index(crash)
+            if _first_store_at_or_after(events[:crash_pos], 0) is None:
+                no_divergence_reason = (
+                    f"crash at event index {crash['seq']} with no prior "
+                    "store — nothing to attribute"
+                )
+            else:
+                no_divergence_reason = (
+                    "no fault was injected before the crash; the stores on "
+                    "record are ordinary workload stores, not divergence"
+                )
+            notes.append("trial crashed before any fault was injected")
+        else:
+            no_divergence_reason = (
+                "no fault injected and no crash recorded — a clean run"
+            )
 
     if divergent_store is None and crash is not None and basis != "none":
         # Trap-flavoured crashes *are* the stopped store.
         divergent_store = crash
         notes.append("no store-class event recorded; the crash event stands in")
+    if divergent_store is None:
+        divergent_store = NoDivergence(
+            no_divergence_reason or "no divergent store identified"
+        )
 
     return ForensicReport(
         system=config.get("system", result.get("system", "?")),
@@ -250,9 +306,11 @@ def build_forensic_report(
     )
 
 
-def _fmt_event(ev: Optional[Dict[str, Any]]) -> str:
+def _fmt_event(ev) -> str:
     if ev is None:
         return "(none)"
+    if isinstance(ev, NoDivergence):
+        return f"(none: {ev.reason})"
     payload = ev.get("payload") or {}
     body = ", ".join(f"{k}={payload[k]}" for k in sorted(payload))
     return f"#{ev['seq']} {ev['kind']}/{ev['op']} @{ev['vtime']}ns" + (

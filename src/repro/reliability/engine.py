@@ -153,6 +153,32 @@ def _test_kill_hook(key: TrialKey) -> None:
     os._exit(17)
 
 
+def _map_worker_main(worker_id: int, fn_path: str, task_q, result_q, claim_slot) -> None:
+    """Worker loop for :class:`ParallelMap`: claim, import, run, ship.
+
+    Same claim-slot discipline as :func:`_worker_main` — the slot write
+    precedes execution so a dead worker's task is identifiable — but
+    the task body is a named function resolved by import path, so any
+    subsystem (the crash-point explorer in particular) can fan plain
+    JSON tasks across the pool.
+    """
+    import importlib
+
+    module_name, _, func_name = fn_path.partition(":")
+    fn = getattr(importlib.import_module(module_name), func_name)
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        task_id, key, payload = task
+        claim_slot.value = task_id
+        _test_kill_hook(key)
+        try:
+            result_q.put(("done", worker_id, key, fn(payload)))
+        except BaseException as exc:  # ship the bug home, don't hang
+            result_q.put(("fail", worker_id, key, f"{type(exc).__name__}: {exc}"))
+
+
 def _worker_main(worker_id: int, task_q, result_q, claim_slot) -> None:
     """Worker loop: claim a trial, run it, ship the JSON result back.
 
@@ -172,6 +198,181 @@ def _worker_main(worker_id: int, task_q, result_q, claim_slot) -> None:
             result_q.put(("done", worker_id, key, result.to_json_dict()))
         except BaseException as exc:  # ship the bug home, don't hang
             result_q.put(("fail", worker_id, key, f"{type(exc).__name__}: {exc}"))
+
+
+# -- generic claim-slot pool -------------------------------------------------
+
+
+@dataclass
+class MapStats:
+    """Host-side bookkeeping for one :meth:`ParallelMap.run`."""
+
+    executed: int = 0  #: tasks that produced a result
+    worker_crashes: int = 0  #: worker deaths observed
+    quarantined: list = field(default_factory=list)  #: keys given up on
+
+
+class ParallelMap:
+    """The campaign engine's worker/claim-slot machinery, generalized.
+
+    Runs a named pure function (``"module.path:function"``, dict in /
+    JSON-safe dict out) over a list of keyed tasks on a pool of worker
+    processes.  Reuses the engine's reliability discipline — the
+    synchronous claim-slot write that survives worker death, liveness
+    polling, retry-then-quarantine — but drops the speculative
+    scheduler: these tasks have **no sequential stopping rule**, so the
+    keyed result map is identical for any job count and any completion
+    order by construction.  The crash-point explorer fans its
+    per-boundary trials through this.
+
+    ``jobs == 1`` runs inline in-process (no subprocess), calling the
+    same imported function on the same payload dicts, so the serial
+    path exercises the identical wire format.
+    """
+
+    #: Worker deaths tolerated per task before quarantine.
+    worker_retry_limit = 1
+
+    def __init__(
+        self,
+        fn_path: str,
+        jobs: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.fn_path = fn_path
+        self.jobs = max(1, jobs)
+        self.progress = progress
+        self.stats = MapStats()
+
+    def _say(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def _resolve(self):
+        import importlib
+
+        module_name, _, func_name = self.fn_path.partition(":")
+        return getattr(importlib.import_module(module_name), func_name)
+
+    def run(self, tasks: list) -> dict:
+        """Execute ``tasks`` — ``(key, payload_dict)`` pairs, keys unique
+        hashable tuples — and return ``{key: result_dict}``.  A task
+        whose worker died past the retry limit maps to ``None`` and its
+        key lands in ``stats.quarantined``.  A task that *raises* (a
+        deterministic bug, not a worker death) aborts the whole map
+        with :class:`CampaignWorkerError`.
+        """
+        if self.jobs == 1:
+            fn = self._resolve()
+            out = {}
+            for key, payload in tasks:
+                out[key] = fn(payload)
+                self.stats.executed += 1
+            return out
+        return self._run_pool(tasks)
+
+    def _run_pool(self, tasks: list) -> dict:
+        ctx = multiprocessing.get_context()
+        task_q, result_q = ctx.Queue(), ctx.Queue()
+        workers: dict = {}
+        tid_key: dict = {}
+        retries: dict = {}
+        next_ids = {"wid": 0, "tid": 0}
+        out: dict = {}
+        outstanding = {}  # key -> payload (for retries)
+        last_activity = time.monotonic()
+
+        def spawn() -> None:
+            wid = next_ids["wid"]
+            next_ids["wid"] += 1
+            claim_slot = ctx.Value("i", -1)
+            proc = ctx.Process(
+                target=_map_worker_main,
+                args=(wid, self.fn_path, task_q, result_q, claim_slot),
+                daemon=True,
+                name=f"rio-map-{wid}",
+            )
+            proc.start()
+            workers[wid] = _WorkerHandle(proc=proc, claim_slot=claim_slot)
+
+        def put(key, payload) -> None:
+            tid = next_ids["tid"]
+            next_ids["tid"] += 1
+            tid_key[tid] = key
+            task_q.put((tid, key, payload))
+
+        def claimed_keys() -> set:
+            keys = set()
+            for worker in workers.values():
+                tid = worker.claim_slot.value
+                if tid >= 0 and tid in tid_key:
+                    keys.add(tid_key[tid])
+            return keys
+
+        def strike(key: str, why: str) -> None:
+            self.stats.worker_crashes += 1
+            count = retries.get(key, 0) + 1
+            retries[key] = count
+            if count <= self.worker_retry_limit:
+                self._say(f"{why} on {key}; retrying once")
+                put(key, outstanding[key])
+                return
+            self._say(f"{why} again on {key}; quarantining the task")
+            self.stats.quarantined.append(key)
+            out[key] = None
+            del outstanding[key]
+
+        for _ in range(self.jobs):
+            spawn()
+        for key, payload in tasks:
+            outstanding[key] = payload
+            put(key, payload)
+        try:
+            while outstanding:
+                try:
+                    message = result_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    for wid, worker in list(workers.items()):
+                        if worker.proc.is_alive():
+                            continue
+                        del workers[wid]
+                        tid = worker.claim_slot.value
+                        key = tid_key.get(tid) if tid >= 0 else None
+                        if key is not None and key in outstanding:
+                            strike(key, "worker died")
+                        spawn()
+                    if (
+                        outstanding
+                        and time.monotonic() - last_activity > 5.0
+                        and task_q.empty()
+                    ):
+                        # A worker died between queue get and claim write.
+                        claimed = claimed_keys()
+                        for key in [k for k in outstanding if k not in claimed]:
+                            strike(key, "task lost in flight")
+                        last_activity = time.monotonic()
+                    continue
+                last_activity = time.monotonic()
+                kind, _wid, key, payload = message
+                if kind == "fail":
+                    raise CampaignWorkerError(
+                        f"worker exception on task {key}: {payload}"
+                    )
+                if key not in outstanding:
+                    continue  # a retry raced its original; result unneeded
+                out[key] = payload
+                del outstanding[key]
+                self.stats.executed += 1
+        finally:
+            for worker in workers.values():
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+            for worker in workers.values():
+                worker.proc.join(timeout=2)
+            for q in (task_q, result_q):
+                q.cancel_join_thread()
+                q.close()
+        return out
 
 
 # -- the engine --------------------------------------------------------------

@@ -97,7 +97,24 @@ def summarize_propagation(table: Table1, system: str) -> PropagationSummary:
 
 
 def format_propagation(summary: PropagationSummary) -> str:
-    """Render the fault-type × crash-kind matrix."""
+    """Render the fault-type × crash-kind matrix.
+
+    An empty matrix (no crashed trial ever had a fault injected — e.g.
+    a campaign of crash-point-explorer trials, or one whose every crash
+    predates its injection op) renders a typed one-liner instead of a
+    bare header over zero rows.
+    """
+    if not summary.matrix:
+        lines = [
+            "(no crashed trials with an injected fault — "
+            "no propagation to attribute)"
+        ]
+        if summary.uninjected:
+            total = sum(summary.uninjected.values())
+            lines.append(
+                f"(excluded: {total} crashed trial(s) with no fault injected)"
+            )
+        return "\n".join(lines)
     kinds = sorted({kind for (_, kind) in summary.matrix})
     fault_types = sorted(
         {fault for (fault, _) in summary.matrix}, key=lambda f: list(FaultType).index(f)

@@ -56,6 +56,15 @@ class ServiceConfig:
     repair_on_recover: bool = False
     #: Directory under which per-client homes are created.
     home_prefix: str = "/srv"
+    #: PLANTED ORDERING BUG — off by default, switched on only by the
+    #: crash-point explorer's counterexample tests.  When set, a write
+    #: is journaled, acknowledged and answered *before* it executes; a
+    #: crash inside the window between the premature ack and the cache
+    #: write loses an acknowledged operation (the exact failure the
+    #: acked-data-durable spec clause exists to catch), because the
+    #: dying request is already answered and recovery has no in-flight
+    #: description to reconcile the broken promise with.
+    ack_before_execute: bool = False
 
 
 @dataclass
@@ -197,9 +206,64 @@ class FileService:
                 for index, request in enumerate(batch):
                     if self.before_execute is not None:
                         self.before_execute(self.stats.executed)
+                    #: The client has (or will get, when pump returns)
+                    #: this request's response — set the moment it is
+                    #: appended, *before* the ack event is emitted, so a
+                    #: crash landing on the ack emission still delivers.
+                    answered = False
+                    pre_acked = False
                     try:
-                        value = self._execute(request)
+                        if self.config.ack_before_execute and request.op == "write":
+                            pre_ack = self._pre_ack(request)
+                            if pre_ack is not None:
+                                self.stats.executed += 1
+                                self.stats.acked += 1
+                                responses.append(pre_ack)
+                                answered = pre_acked = True
+                                if rec is not None:
+                                    rec.emit(
+                                        "server", "ack",
+                                        client=request.client_id,
+                                        req=request.req_id,
+                                        op=request.op,
+                                    )
+                        value = self._execute(request, journal=not pre_acked)
+                        if not pre_acked:
+                            self.stats.executed += 1
+                            self.stats.acked += 1
+                            responses.append(
+                                Response(
+                                    client_id=request.client_id,
+                                    req_id=request.req_id,
+                                    op=request.op,
+                                    ok=True,
+                                    value=value,
+                                    submitted_ns=request.submitted_ns,
+                                    completed_ns=self._now,
+                                )
+                            )
+                            answered = True
+                            if rec is not None:
+                                rec.emit(
+                                    "server", "ack",
+                                    client=request.client_id,
+                                    req=request.req_id,
+                                    op=request.op,
+                                )
                     except (SystemCrash, CrashedMachineError):
+                        if answered:
+                            # The request was already answered.  Either it
+                            # fully executed and the crash hit the ack
+                            # emission (nothing is in flight), or the
+                            # planted ack-before-execute bug promised it
+                            # and the crash beat the data to the cache —
+                            # recovery is handed *no* in-flight
+                            # description, so the broken promise stands
+                            # unexcused and the post-crash audit reports
+                            # the lost ack.
+                            inflight = {}
+                            self.scheduler.requeue_front(batch[index + 1:])
+                            break
                         # Crash transparency: the dying request was not
                         # acknowledged, so it is simply re-executed after
                         # recovery — ahead of the rest of the batch, so
@@ -212,44 +276,25 @@ class FileService:
                         self.scheduler.requeue_front(batch[index:])
                         break
                     except ServerError as exc:
-                        self.stats.executed += 1
-                        self.stats.failed += 1
-                        responses.append(Response.failure(request, exc, self._now))
+                        if not pre_acked:
+                            self.stats.executed += 1
+                            self.stats.failed += 1
+                            responses.append(Response.failure(request, exc, self._now))
                     except FileSystemError as exc:
-                        self.stats.executed += 1
-                        self.stats.failed += 1
-                        responses.append(
-                            Response(
-                                client_id=request.client_id,
-                                req_id=request.req_id,
-                                op=request.op,
-                                ok=False,
-                                error=exc.errno_name,
-                                retryable=False,
-                                submitted_ns=request.submitted_ns,
-                                completed_ns=self._now,
-                            )
-                        )
-                    else:
-                        self.stats.executed += 1
-                        self.stats.acked += 1
-                        responses.append(
-                            Response(
-                                client_id=request.client_id,
-                                req_id=request.req_id,
-                                op=request.op,
-                                ok=True,
-                                value=value,
-                                submitted_ns=request.submitted_ns,
-                                completed_ns=self._now,
-                            )
-                        )
-                        if rec is not None:
-                            rec.emit(
-                                "server", "ack",
-                                client=request.client_id,
-                                req=request.req_id,
-                                op=request.op,
+                        if not pre_acked:
+                            self.stats.executed += 1
+                            self.stats.failed += 1
+                            responses.append(
+                                Response(
+                                    client_id=request.client_id,
+                                    req_id=request.req_id,
+                                    op=request.op,
+                                    ok=False,
+                                    error=exc.errno_name,
+                                    retryable=False,
+                                    submitted_ns=request.submitted_ns,
+                                    completed_ns=self._now,
+                                )
                             )
         except (SystemCrash, CrashedMachineError):
             # A crash escaping outside request execution (e.g. raised by
@@ -341,12 +386,44 @@ class FileService:
                 info["new_path"] = session.resolve(request.new_path)
         return info
 
-    def _execute(self, request: Request) -> Any:
+    def _pre_ack(self, request: Request) -> Optional[Response]:
+        """The ``ack_before_execute`` planted bug: promise, then do.
+
+        Journals and answers a write before a single byte reaches the
+        cache (the caller appends the response and emits the ack event).
+        Returns the premature response, or ``None`` when the request
+        cannot be resolved (bad session/fd — it then takes the normal
+        path and fails honestly).
+        """
+        try:
+            session = self.sessions.get(request.client_id)
+            state = session.lookup(request.fd)
+        except ServerError:
+            return None
+        offset = request.offset if request.offset is not None else state.offset
+        data = request.data or b""
+        self.journal.record(
+            session.client_id, request.req_id, "write",
+            state.path, offset=offset, data=data,
+        )
+        return Response(
+            client_id=request.client_id,
+            req_id=request.req_id,
+            op=request.op,
+            ok=True,
+            value=len(data),
+            submitted_ns=request.submitted_ns,
+            completed_ns=self._now,
+        )
+
+    def _execute(self, request: Request, *, journal: bool = True) -> Any:
         """Run one request against the VFS; journal it if it mutates.
 
         Raises :class:`ServerError` subtypes for service-level
         failures, file-system errors for POSIX failures, and lets
-        crashes propagate to :meth:`pump`.
+        crashes propagate to :meth:`pump`.  ``journal=False`` skips the
+        write-path journal append (the ``ack_before_execute`` planted
+        bug already recorded the promise before calling here).
         """
         session = self.sessions.get(request.client_id)
         vfs = self.system.vfs
@@ -385,10 +462,11 @@ class FileService:
             offset = request.offset if request.offset is not None else state.offset
             data = request.data or b""
             vfs.pwrite(state.backing_fd, data, offset)
-            self.journal.record(
-                session.client_id, request.req_id, "write",
-                state.path, offset=offset, data=data,
-            )
+            if journal:
+                self.journal.record(
+                    session.client_id, request.req_id, "write",
+                    state.path, offset=offset, data=data,
+                )
             if request.offset is None:
                 state.offset = offset + len(data)
             return len(data)

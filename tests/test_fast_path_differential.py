@@ -171,6 +171,59 @@ def test_obs_streams_identical_across_engines(monkeypatch):
     assert outputs["1"][2] == outputs["0"][2]  # rendered forensic reports
 
 
+@given(seed=st.integers(min_value=0, max_value=2**16), ops=st.integers(0, 2))
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_explore_verdicts_identical_across_engines(seed, ops):
+    """Crash-point exploration is engine-blind: for any seed, both
+    engines enumerate byte-identical boundary lists and, crashing at a
+    sample of those boundaries, produce byte-identical canonical
+    verdicts and coverage reports."""
+    import json
+
+    from repro.explore import (
+        ExploreConfig,
+        ExploreReport,
+        boundary_census,
+        format_explore_report,
+        run_boundary_trial,
+        run_enumeration,
+    )
+
+    outputs = {}
+    for fast in (True, False):
+        config = ExploreConfig(workload="basic", ops=ops, seed=seed, fast_path=fast)
+        enumeration = run_enumeration(config)
+        boundaries = enumeration.boundaries
+        picks = sorted(
+            {boundaries[0], boundaries[len(boundaries) // 2], boundaries[-1]},
+            key=lambda b: b.index,
+        )
+        verdicts = [run_boundary_trial(config, b) for b in picks]
+        report = ExploreReport(
+            config=config,
+            total_events=len(enumeration.events),
+            enumeration_digest=enumeration.digest,
+            census=boundary_census(picks),
+            boundaries_total=len(picks),
+            verdicts=verdicts,
+            executed=len(picks),
+        )
+        outputs[fast] = (
+            enumeration.digest,
+            json.dumps(boundary_census(boundaries), sort_keys=True),
+            json.dumps(
+                [v.canonical_json_dict() for v in verdicts], sort_keys=True
+            ),
+            report.report_digest(),
+            format_explore_report(report),
+        )
+    assert outputs[True] == outputs[False]
+
+
 @pytest.mark.slow
 def test_campaign_digest_identical(monkeypatch):
     """The acceptance check from the top of the stack: a (small) Table 1

@@ -14,6 +14,7 @@ import pytest
 from repro.obs import (
     DEFAULT_EVENT_CAP,
     FlightRecorder,
+    NoDivergence,
     build_forensic_report,
     events_digest,
     first_divergence,
@@ -201,14 +202,41 @@ class TestForensicReportBuilder:
         report = build_forensic_report(RESULT, BASELINE, BASELINE)
         assert report.divergence_basis == "none"
         assert report.first_divergence is None
-        assert report.first_divergent_store is None
+        assert isinstance(report.first_divergent_store, NoDivergence)
+        assert "identical" in report.first_divergent_store.reason
         assert any("identical" in n for n in report.notes)
 
     def test_no_injection_recorded(self):
         report = build_forensic_report(RESULT, BASELINE, None)
         assert report.injection is None
         assert report.divergence_basis == "none"
+        assert isinstance(report.first_divergent_store, NoDivergence)
+        assert "no fault injected" in report.first_divergent_store.reason
+
+    def test_crash_at_event_index_zero_is_typed_not_crash(self):
+        """A trial that crashes at the very first event (an explorer
+        boundary-0 trial) attributes nothing: there is no prior store to
+        blame, and the report says so in a typed way."""
+        stream = [ev(0, "crash", "machine_check", reason="armed", panic_code=None)]
+        report = build_forensic_report(RESULT, stream, None)
+        assert report.divergence_basis == "none"
+        assert isinstance(report.first_divergent_store, NoDivergence)
+        assert "no prior" in report.first_divergent_store.reason
         assert any("before any fault" in n for n in report.notes)
+        # and the typed outcome survives the wire format + the renderer
+        data = report.to_json_dict()
+        assert data["first_divergent_store"]["no_divergence"] is True
+        assert "no prior" in format_forensic_report(report)
+
+    def test_no_injection_crash_after_stores(self):
+        """Explorer trials that crash mid-workload: the stores on record
+        are ordinary workload stores, not divergence."""
+        stream = BASELINE + [
+            ev(4, "crash", "machine_check", vtime=150, reason="armed", panic_code=None)
+        ]
+        report = build_forensic_report(RESULT, stream, None)
+        assert isinstance(report.first_divergent_store, NoDivergence)
+        assert "ordinary workload stores" in report.first_divergent_store.reason
 
     def test_truncated_stream_notes_the_truncation(self):
         report = build_forensic_report(RESULT, BASELINE[:2], BASELINE)

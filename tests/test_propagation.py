@@ -46,6 +46,20 @@ class TestSummary:
         assert summary.uninjected[FaultType.POINTER] == 2
         assert summary.incubation_ops == {}
 
+    def test_format_empty_matrix_is_typed(self):
+        """An all-uninjected summary (every crash predated its injection,
+        as in crash-point-explorer trials) renders the typed one-liner,
+        not a bare header over zero rows."""
+        text = format_propagation(PropagationSummary())
+        assert "no crashed trials with an injected fault" in text
+
+    def test_format_empty_matrix_counts_uninjected(self):
+        summary = PropagationSummary()
+        summary.add_uninjected(FaultType.POINTER)
+        text = format_propagation(summary)
+        assert "no propagation to attribute" in text
+        assert "1 crashed trial(s) with no fault injected" in text
+
 
 class TestUninjectedCrashes:
     def test_summarize_excludes_uninjected_trials(self):
