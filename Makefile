@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint docstrings serve-smoke verify-disk bench bench-full bench-interp forensics-smoke explore-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke cluster-smoke verify-disk bench bench-full bench-interp bench-server bench-cluster forensics-smoke explore-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -23,6 +23,12 @@ docstrings:
 serve-smoke:
 	PYTHONPATH=src $(PY) -m repro serve --clients 16 --crashes 3
 
+# The multi-kernel cluster smoke: 2 shards under a rolling storm (zero
+# lost acks, storm acks == calm acks), cross-engine digest equality,
+# and the 64-client perf floor (the cliff stays dead).
+cluster-smoke:
+	$(PY) scripts/cluster_smoke.py
+
 # Independent on-disk-format verification: clean image dissects clean,
 # injected damage is found, the constructed divergent image fires a
 # DivergenceReport, and a mini crash campaign's fsck verdicts all agree
@@ -41,6 +47,17 @@ bench-full:
 # (plain timing, no pytest-benchmark needed; fails below RIO_MIN_SPEEDUP).
 bench-interp:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/bench_interpreter.py -q -s
+
+# File-service scaling grid (1..64 clients, calm + 3-crash storm);
+# regenerates the checked-in benchmarks/results/server_throughput.txt.
+bench-server:
+	$(PY) -m pytest benchmarks/bench_server.py --benchmark-only -q -s
+
+# Cluster scaling grid at the paper-scale population (1024 clients over
+# 1..8 shards, calm + rolling storm); regenerates the checked-in
+# benchmarks/results/cluster_throughput.txt.
+bench-cluster:
+	RIO_BENCH_CLUSTER_CLIENTS=1024 $(PY) -m pytest benchmarks/bench_cluster.py --benchmark-only -q -s
 
 # Flight-recorder smoke: a tiny traced 2-job campaign (disk/pointer
 # corrupts within its first attempts under the default seed schedule),
@@ -89,7 +106,10 @@ table1-par:
 table2:
 	$(PY) -m repro table2
 
+# benchmarks/results holds checked-in artifacts (server_throughput.txt,
+# cluster_throughput.txt) — regenerate with bench-server/bench-cluster,
+# never delete them here.
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results
+	rm -rf .pytest_cache .hypothesis
 	rm -rf forensics-smoke.jsonl forensics-smoke.jsonl.traces explore-smoke.out
 	find . -name __pycache__ -type d -exec rm -rf {} +

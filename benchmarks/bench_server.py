@@ -69,12 +69,18 @@ def test_server_scaling(benchmark, grid, record_result):
     # Aggregate acked work scales with the client count.
     assert calm[64].load.acked > 10 * calm[1].load.acked
     # Batching amortizes the syscall prologue: per-op virtual cost at 16
-    # clients stays below twice the single-client cost.  (64 clients is
-    # excluded on purpose: their working set outgrows the file cache, so
-    # the run honestly pays for evictions and disk reads.)
+    # clients stays below twice the single-client cost.
     calm_1 = calm[1].load.wall_virtual_ns / max(1, calm[1].load.acked)
     calm_16 = calm[16].load.wall_virtual_ns / max(1, calm[16].load.acked)
     assert calm_16 < 2.0 * calm_1, (calm_1, calm_16)
+    # The 64-client cliff stays dead: the buffer cache is sized to the
+    # machine and evictions clean dirty pages in clustered elevator
+    # sweeps, so throughput degrades gently (within 10x of 16 clients)
+    # instead of collapsing ~158x as it did with a fixed 48-page cache
+    # and one synchronous flush per eviction.
+    thr_16 = calm[16].load.throughput_ops_per_vsec
+    thr_64 = calm[64].load.throughput_ops_per_vsec
+    assert thr_64 * 10.0 > thr_16, (thr_16, thr_64)
     # The storm's cost is tail latency, not lost work.
     for clients in CLIENT_COUNTS:
         assert stormy[clients].load.acked == calm[clients].load.acked

@@ -1,0 +1,113 @@
+"""CI smoke for the multi-kernel cluster (``make cluster-smoke``).
+
+Three independent gates, each a design claim of the cluster layer:
+
+1. **Crash transparency** — a 2-shard cluster under seeded load takes
+   one forced kernel crash per shard (rolling, one shard down at a
+   time) and loses zero acknowledged operations; every shard audit and
+   the cross-shard intent audit come back clean, and the storm acks
+   exactly what the calm run acks.
+2. **Cross-engine determinism** — the same campaign pinned to the
+   reference engine (``fast_path=False``) and the hot engine
+   (``fast_path=True``) produces bit-identical cluster digests.
+3. **The 64-client cliff stays dead** — single-shard calm throughput
+   at 64 clients is within 10x of 16 clients (the seed repo collapsed
+   ~158x here: a fixed 48-page buffer cache plus one synchronous disk
+   flush per eviction).
+
+Exits non-zero on the first failed gate.  Pure stdlib + repro; no
+pytest dependency, so CI can run it as a bare script.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.reliability import (  # noqa: E402
+    ClusterTrafficConfig,
+    TrafficConfig,
+    run_cluster_campaign,
+    run_traffic_campaign,
+)
+from repro.server import LoadSpec  # noqa: E402
+
+LOAD = LoadSpec(ops_per_client=12, files_per_client=2)
+
+
+def gate(name: str, ok: bool, detail: str) -> None:
+    verdict = "ok" if ok else "FAIL"
+    print(f"[cluster-smoke] {name}: {verdict} ({detail})")
+    if not ok:
+        sys.exit(1)
+
+
+def campaign(crashes: int, fast_path=None):
+    return run_cluster_campaign(
+        ClusterTrafficConfig(
+            shards=2,
+            clients=8,
+            crashes_per_shard=crashes,
+            seed=13,
+            router_mode="hash",
+            jobs=2,
+            load=LOAD,
+            fast_path=fast_path,
+        )
+    )
+
+
+def main() -> None:
+    # Gate 1: rolling storm, zero lost acks, audits clean.
+    calm = campaign(crashes=0)
+    storm = campaign(crashes=1)
+    gate(
+        "storm zero-lost-acks",
+        storm.ok and storm.lost_acks == 0 and storm.recoveries >= 2,
+        f"lost={storm.lost_acks} recoveries={storm.recoveries} "
+        f"audits_ok={storm.shard_audits_ok} intents_ok={storm.intent_audit.get('ok')}",
+    )
+    gate(
+        "storm acks match calm",
+        storm.load.acked == calm.load.acked
+        and storm.cluster_digest == calm.cluster_digest,
+        f"calm={calm.load.acked} storm={storm.load.acked}",
+    )
+
+    # Gate 2: cross-engine digest equality.
+    reference = campaign(crashes=1, fast_path=False)
+    hot = campaign(crashes=1, fast_path=True)
+    gate(
+        "cross-engine digest equality",
+        reference.cluster_digest == hot.cluster_digest
+        and reference.ok
+        and hot.ok,
+        f"ref={reference.cluster_digest[:16]} hot={hot.cluster_digest[:16]}",
+    )
+
+    # Gate 3: the single-shard 64-client cliff stays dead.
+    def calm_throughput(clients: int) -> float:
+        result = run_traffic_campaign(
+            TrafficConfig(
+                system="rio_prot",
+                clients=clients,
+                crashes=0,
+                seed=7,
+                load=LoadSpec(ops_per_client=10),
+            )
+        )
+        assert result.ok, result.to_json_dict()
+        return result.load.throughput_ops_per_vsec
+
+    thr_16 = calm_throughput(16)
+    thr_64 = calm_throughput(64)
+    gate(
+        "64-client perf floor",
+        thr_64 * 10.0 > thr_16,
+        f"16 clients {thr_16:,.0f} ops/vsec, 64 clients {thr_64:,.0f} "
+        f"(ratio {thr_16 / max(thr_64, 1e-9):.2f}x, floor 10x)",
+    )
+    print("[cluster-smoke] all gates passed")
+
+
+if __name__ == "__main__":
+    main()

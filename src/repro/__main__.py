@@ -23,6 +23,11 @@ Commands:
   zero-lost-acks durability audit (exit 1 if any ack was lost).
 * ``loadgen`` — the same deterministic multi-client load with no storm:
   a pure throughput/latency measurement of the service.
+* ``cluster`` — the multi-kernel cluster: N independent Machine+Kernel
+  shards behind a deterministic consistent-hash router, in-process or
+  one worker process per shard (``--jobs``), optionally under a
+  *rolling* crash storm (one shard down at a time); exit 1 if any
+  acknowledged op was lost.
 * ``explore`` — the exhaustive crash-point explorer: enumerate every
   store/flush/shadow-flip boundary in one workload run, crash at each,
   and hold the recovery to the declared crash-consistency spec.
@@ -359,6 +364,44 @@ def cmd_loadgen(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_cluster(args) -> int:
+    """The multi-kernel cluster under seeded load, optionally with a
+    rolling crash storm; exit 1 if any acknowledged op was lost."""
+    from repro.reliability import (
+        ClusterTrafficConfig,
+        format_cluster_report,
+        run_cluster_campaign,
+    )
+    from repro.server import LoadSpec
+
+    config = ClusterTrafficConfig(
+        shards=args.shards,
+        system=args.system,
+        clients=args.clients,
+        crashes_per_shard=(
+            args.crashes_per_shard if args.storm == "rolling" else 0
+        ),
+        seed=args.seed,
+        router_mode=args.router,
+        jobs=args.jobs,
+        load=LoadSpec(ops_per_client=args.ops, pipeline=args.pipeline),
+        fast_path=args.fast_path,
+    )
+    print(
+        f"clustering: {config.clients} clients over {config.shards} "
+        f"{config.system} shard(s), storm={args.storm} ...",
+        file=sys.stderr,
+    )
+    result = run_cluster_campaign(config)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_cluster_report(result))
+    return 0 if result.ok else 1
+
+
 def cmd_explore(args) -> int:
     """Exhaustive boundary sweep (or one-counterexample replay)."""
     from repro.explore import (
@@ -654,6 +697,57 @@ def main(argv: list[str] | None = None) -> int:
     _add_traffic_flags(ps, crashes=3)
     pl = sub.add_parser("loadgen", help="deterministic load, no crashes")
     _add_traffic_flags(pl, crashes=None)
+    pc = sub.add_parser(
+        "cluster",
+        help="multi-kernel sharded service under load (exit 1 on lost acks)",
+    )
+    pc.add_argument("--shards", type=int, default=2, help="kernel shards (default 2)")
+    pc.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    pc.add_argument("--clients", type=int, default=16, help="concurrent clients")
+    pc.add_argument(
+        "--ops", type=int, default=30, help="programs per client (default 30)"
+    )
+    pc.add_argument(
+        "--pipeline", type=int, default=4, help="requests each client keeps in flight"
+    )
+    pc.add_argument("--seed", type=int, default=1, help="campaign seed")
+    pc.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="1: all shards in-process; >1: one worker process per shard "
+        "(identical digests either way)",
+    )
+    pc.add_argument(
+        "--router",
+        default="dir",
+        choices=("dir", "hash"),
+        help="routing key: parent directory (colocates) or full path (scatters)",
+    )
+    pc.add_argument(
+        "--storm",
+        default="none",
+        choices=("none", "rolling"),
+        help="rolling = forced kernel crashes staggered one shard at a time",
+    )
+    pc.add_argument(
+        "--crashes-per-shard",
+        type=int,
+        default=1,
+        help="crashes per shard under --storm rolling (default 1)",
+    )
+    pc.add_argument(
+        "--fast-path",
+        type=lambda v: v not in ("0", "false", "no"),
+        default=None,
+        metavar="0|1",
+        help="pin the execution engine on every shard (default: machine default)",
+    )
+    pc.add_argument("--json", action="store_true", help="machine-readable output")
     pe = sub.add_parser(
         "explore",
         help="exhaustive crash-point sweep against the spec (exit 1 on violations)",
@@ -751,6 +845,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": cmd_lint,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "cluster": cmd_cluster,
         "explore": cmd_explore,
         "dissect": cmd_dissect,
         "dump-disk": cmd_dump_disk,

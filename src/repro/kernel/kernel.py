@@ -204,11 +204,17 @@ class Kernel:
         """Create the buffer cache and UBC, optionally Rio-guarded."""
         self.guard = guard or CacheGuard()
         layout = self.config.layout
+        meta_capacity = layout.resolve_buffer_cache_pages(self.frames.num_frames)
         self.buffer_cache = BufferCache(
-            self, layout.buffer_cache_pages, KBUF_BASE, self.guard
+            self, meta_capacity, KBUF_BASE, self.guard
         )
+        # Budget the UBC so that both caches filled to capacity still fit
+        # in the frame pool (plus the reserve for transient allocations).
         ubc_capacity = max(
-            8, self.frames.free_count - self.config.ubc_reserve_frames
+            8,
+            self.frames.free_count
+            - meta_capacity
+            - self.config.ubc_reserve_frames,
         )
         self.ubc = UnifiedBufferCache(self, ubc_capacity, self.guard)
 

@@ -30,11 +30,27 @@ class KernelLayout:
     heap_pages: int = 48
     stack_pages: int = 4
     staging_pages: int = 16
-    #: Buffer cache capacity (metadata pages).  "usually only a few
-    #: megabytes" in Digital Unix; scaled with the simulation.
-    buffer_cache_pages: int = 48
+    #: Buffer cache capacity (metadata pages).  ``None`` (the default)
+    #: auto-sizes it to an eighth of physical memory, floored at 48
+    #: pages — "usually only a few megabytes" in Digital Unix, scaled
+    #: with the machine so a many-client metadata working set does not
+    #: thrash a fixed-size cache.  Set an explicit page count to pin it.
+    buffer_cache_pages: int | None = None
     #: Registry frames reserved at the top of physical memory.
     registry_pages: int = 4
+
+    #: Auto-sizing floor and memory fraction for the buffer cache.
+    BUFFER_CACHE_MIN_PAGES = 48
+    BUFFER_CACHE_MEMORY_FRACTION = 8
+
+    def resolve_buffer_cache_pages(self, num_frames: int) -> int:
+        """Buffer cache capacity for a machine with ``num_frames`` frames."""
+        if self.buffer_cache_pages is not None:
+            return self.buffer_cache_pages
+        return max(
+            self.BUFFER_CACHE_MIN_PAGES,
+            num_frames // self.BUFFER_CACHE_MEMORY_FRACTION,
+        )
 
     def validate(self, page_size: int) -> None:
         for base in (KTEXT_BASE, KHEAP_BASE, KSTACK_BASE, KSTAGE_BASE, KBUF_BASE):

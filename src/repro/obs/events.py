@@ -153,6 +153,10 @@ class FlightRecorder:
         self._seq = 0
         self._crash_seq: Optional[int] = None
         self._crash_hook = None
+        #: Constant key/values merged into every event's payload —
+        #: e.g. the cluster sets ``{"shard": shard_id}`` so merged
+        #: multi-shard streams stay attributable.  Empty costs nothing.
+        self.static_tags: Dict[str, Any] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -211,6 +215,8 @@ class FlightRecorder:
         if not self.enabled:
             return
         vtime = self._clock.now_ns if self._clock is not None else 0
+        if self.static_tags:
+            payload = {**self.static_tags, **payload}
         event = Event(self._seq, kind, op, vtime, payload)
         self._events.append(event)
         self._seq += 1

@@ -40,9 +40,14 @@ from repro.reliability.journal import (
     JournalWarning,
 )
 from repro.reliability.traffic import (
+    ClusterTrafficConfig,
+    ClusterTrafficResult,
     TrafficConfig,
     TrafficResult,
+    format_cluster_report,
     format_traffic_report,
+    rolling_crash_points,
+    run_cluster_campaign,
     run_traffic_campaign,
 )
 from repro.reliability.propagation import (
@@ -71,6 +76,15 @@ __all__ = [
     "CampaignJournal",
     "CampaignResumeError",
     "JournalWarning",
+    "ClusterTrafficConfig",
+    "ClusterTrafficResult",
+    "TrafficConfig",
+    "TrafficResult",
+    "format_cluster_report",
+    "format_traffic_report",
+    "rolling_crash_points",
+    "run_cluster_campaign",
+    "run_traffic_campaign",
     "PropagationSummary",
     "format_propagation",
     "summarize_propagation",

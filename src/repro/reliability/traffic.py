@@ -24,17 +24,22 @@ Two storm flavours:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults import FaultInjector, FaultType
 from repro.reliability.campaign import system_spec_for
 from repro.server import (
+    ClusterConfig,
+    ClusterLoadReport,
+    ClusterService,
     FileService,
     LoadClient,
     LoadReport,
     LoadSpec,
     ServiceConfig,
+    run_cluster_load,
     run_load,
 )
 from repro.system import build_system
@@ -309,4 +314,208 @@ def format_traffic_report(result: TrafficResult) -> str:
     ]
     for detail in result.divergence_details[:5]:
         lines.append(f"  divergence      {detail}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Cluster traffic: rolling crash storms against the multi-kernel cluster.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterTrafficConfig:
+    """One traffic campaign against a sharded cluster."""
+
+    shards: int = 2
+    system: str = "rio_prot"
+    clients: int = 16
+    #: Forced kernel crashes per shard, staggered so at most one shard
+    #: is down at a time (the *rolling* storm).
+    crashes_per_shard: int = 1
+    seed: int = 1
+    #: Router key mode ("dir" colocates directories; "hash" scatters).
+    router_mode: str = "dir"
+    #: Shard hosting: 1 = all shards in-process, >1 = one worker
+    #: process per shard.  Digests must not depend on this.
+    jobs: int = 1
+    #: Per-shard file system geometry.
+    fs_blocks: int = 2048
+    #: Per-shard inode area (None: sized from the client count).
+    inode_blocks: Optional[int] = None
+    #: Per-shard machine memory override (None: the default 16 MB).
+    memory_bytes: Optional[int] = None
+    #: Requests per front-end scheduling batch (None: ClusterConfig
+    #: default; raise at high client counts so every shard sees a
+    #: full per-step batch).
+    batch_size: Optional[int] = None
+    load: LoadSpec = field(default_factory=LoadSpec)
+    #: Pin the execution engine on every shard.
+    fast_path: Optional[bool] = None
+
+
+@dataclass
+class ClusterTrafficResult:
+    """What one cluster traffic campaign observed."""
+
+    config: ClusterTrafficConfig
+    crashes_observed: int = 0
+    recoveries: int = 0
+    lost_acks: int = 0
+    transparent_retries: int = 0
+    shard_audits_ok: bool = False
+    intent_audit: dict = field(default_factory=dict)
+    cluster_digest: str = ""
+    load: Optional[ClusterLoadReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """Zero lost acks, every shard audit clean, intents settled."""
+        return (
+            self.lost_acks == 0
+            and self.shard_audits_ok
+            and bool(self.intent_audit.get("ok"))
+        )
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable summary (drops the live objects)."""
+        load = self.load
+        return {
+            "shards": self.config.shards,
+            "system": self.config.system,
+            "clients": self.config.clients,
+            "crashes_per_shard": self.config.crashes_per_shard,
+            "seed": self.config.seed,
+            "router_mode": self.config.router_mode,
+            "jobs": self.config.jobs,
+            "crashes_observed": self.crashes_observed,
+            "recoveries": self.recoveries,
+            "lost_acks": self.lost_acks,
+            "transparent_retries": self.transparent_retries,
+            "acked": load.acked if load else 0,
+            "failed": load.failed if load else 0,
+            "rejected": load.rejected if load else 0,
+            "throughput_ops_per_vsec": (
+                load.throughput_ops_per_vsec if load else 0.0
+            ),
+            "wall_virtual_ns": load.wall_virtual_ns if load else 0,
+            "cross_renames": self.intent_audit.get("intents", 0),
+            "shard_audits_ok": self.shard_audits_ok,
+            "intent_audit": dict(self.intent_audit),
+            "ok": self.ok,
+            "cluster_digest": self.cluster_digest,
+        }
+
+
+def rolling_crash_points(config: ClusterTrafficConfig) -> Dict[int, Tuple[int, ...]]:
+    """Staggered per-shard crash schedule: one shard down at a time.
+
+    Each shard executes roughly ``1/shards`` of the estimated request
+    stream, so its crash points live on a per-shard executed axis.
+    The axis estimate is deliberately *half* the even-split share:
+    consistent hashing skews the real split (the lightest shard can
+    carry ~half the average at high shard counts), and a crash point
+    beyond a shard's actual traffic would silently never fire.  Crash
+    ``j`` of shard ``i`` lands at fraction
+    ``(j * shards + i + 1) / (total + 1)`` of that axis — interleaving
+    the shards so the storm *rolls* across the cluster instead of
+    taking it down wholesale.
+    """
+    if config.crashes_per_shard <= 0:
+        return {}
+    per_shard = config.clients * (
+        config.load.files_per_client + config.load.ops_per_client
+    ) // (2 * max(1, config.shards))
+    total = config.shards * config.crashes_per_shard
+    points: Dict[int, Tuple[int, ...]] = {}
+    for shard in range(config.shards):
+        shard_points = []
+        for crash in range(config.crashes_per_shard):
+            fraction = (crash * config.shards + shard + 1) / (total + 1)
+            shard_points.append(max(1, int(per_shard * fraction)))
+        points[shard] = tuple(shard_points)
+    return points
+
+
+def _cluster_inode_blocks(config: ClusterTrafficConfig) -> int:
+    """Per-shard inode area sized for the client population.
+
+    Every client owns a home directory (replicated nowhere — it lives
+    on the shards its session touches) plus ``files_per_client`` files
+    and a few rename/cycle spares; directory shells replicate to every
+    shard and the hash spread is uneven, so each shard is provisioned
+    for the full population rather than ``1/shards`` of it.
+    """
+    from repro.fs.ondisk import INODES_PER_BLOCK
+
+    inodes = config.clients * (config.load.files_per_client + 4) + 16
+    return max(8, math.ceil(inodes / INODES_PER_BLOCK))
+
+
+def run_cluster_campaign(config: ClusterTrafficConfig) -> ClusterTrafficResult:
+    """Drive seeded load through a cluster under a rolling crash storm."""
+    inode_blocks = (
+        config.inode_blocks
+        if config.inode_blocks is not None
+        else _cluster_inode_blocks(config)
+    )
+    cluster_config = ClusterConfig(
+        shards=config.shards,
+        system=config.system,
+        router_mode=config.router_mode,
+        fs_blocks=config.fs_blocks,
+        inode_blocks=inode_blocks,
+        memory_bytes=config.memory_bytes,
+        fast_path=config.fast_path,
+        crash_points=rolling_crash_points(config),
+    )
+    if config.batch_size is not None:
+        cluster_config = replace(cluster_config, batch_size=config.batch_size)
+    cluster = ClusterService(cluster_config, jobs=config.jobs)
+    try:
+        clients = [
+            LoadClient(client_id, seed=config.seed, spec=config.load)
+            for client_id in range(config.clients)
+        ]
+        load = run_cluster_load(cluster, clients)
+        result = ClusterTrafficResult(config=config, load=load)
+        for snap in load.shard_snapshots:
+            result.crashes_observed += snap["crashes_detected"]
+            result.recoveries += snap["recoveries"]
+            result.lost_acks += snap["lost_acks"]
+            result.transparent_retries += snap["transparent_retries"]
+        audits = cluster.audits()
+        result.shard_audits_ok = all(audit["ok"] for audit in audits)
+        result.lost_acks += sum(len(audit["lost"]) for audit in audits)
+        result.intent_audit = cluster.audit_intents()
+        result.cluster_digest = cluster.cluster_digest()
+    finally:
+        cluster.close()
+    return result
+
+
+def format_cluster_report(result: ClusterTrafficResult) -> str:
+    """Human-readable summary of one cluster traffic campaign."""
+    config = result.config
+    load = result.load
+    lines = [
+        "cluster traffic campaign",
+        f"  shards          {config.shards} x {config.system}  "
+        f"(router={config.router_mode}, jobs={config.jobs}, seed={config.seed})",
+        f"  clients         {config.clients} x {config.load.ops_per_client} programs",
+        f"  storm           rolling, {config.crashes_per_shard} crashes/shard "
+        f"({result.crashes_observed} observed, {result.recoveries} recoveries)",
+        f"  acked           {load.acked} "
+        f"(failed {load.failed}, rejected {load.rejected}, retried {load.retried})",
+        f"  transparent     {result.transparent_retries} requests re-run across crashes",
+        f"  cross renames   {result.intent_audit.get('intents', 0)} "
+        f"(rolled forward {result.intent_audit.get('rolled_forward', 0)}, "
+        f"back {result.intent_audit.get('rolled_back', 0)})",
+        f"  lost acks       {result.lost_acks}",
+        f"  throughput      {load.throughput_ops_per_vsec:,.0f} ops/vsec "
+        f"(cluster wall = slowest shard)",
+        f"  latency p50/p99 {load.latency_percentile(0.50) / 1e6:.2f} / "
+        f"{load.latency_percentile(0.99) / 1e6:.2f} ms (virtual)",
+        f"  cluster digest  {result.cluster_digest[:16]}",
+        f"  verdict         {'ZERO LOST ACKS' if result.ok else 'ACKS LOST'}",
+    ]
     return "\n".join(lines)

@@ -25,6 +25,12 @@ The pieces (one module each):
 * :mod:`repro.server.loadgen` — the deterministic multi-client load
   generator and the shared driver loop behind ``repro loadgen``,
   the traffic-under-faults campaign and the server benchmarks.
+* :mod:`repro.server.router` — the deterministic consistent-hash
+  router mapping absolute paths to shards.
+* :mod:`repro.server.cluster` — the multi-kernel cluster: N
+  independent Machine+Kernel shards (in-process or one worker process
+  each) behind one router, with per-shard crash transparency and
+  two-phase cross-shard renames audited by an intent log.
 """
 
 from repro.server.protocol import (
@@ -46,6 +52,17 @@ from repro.server.loadgen import (
     LoadSpec,
     percentile,
     run_load,
+)
+from repro.server.router import Router
+from repro.server.cluster import (
+    ClusterConfig,
+    ClusterIntentLog,
+    ClusterLoadReport,
+    ClusterService,
+    RenameIntent,
+    Shard,
+    ShardSpec,
+    run_cluster_load,
 )
 
 __all__ = [
@@ -70,4 +87,13 @@ __all__ = [
     "LoadSpec",
     "percentile",
     "run_load",
+    "Router",
+    "ClusterConfig",
+    "ClusterIntentLog",
+    "ClusterLoadReport",
+    "ClusterService",
+    "RenameIntent",
+    "Shard",
+    "ShardSpec",
+    "run_cluster_load",
 ]

@@ -1,0 +1,1233 @@
+"""The multi-kernel cluster: N independent shards behind one front-end.
+
+One :class:`ClusterService` owns N *shards*.  Each shard is a complete
+:class:`~repro.system.System` — its own machine, kernel, Rio cache,
+disk, file system — wrapped in its own crash-transparent
+:class:`~repro.server.FileService`, so a kernel crash on one shard is
+recovered by that shard's warm reboot (requeue, reboot, journal audit,
+session rebind) while every other shard keeps serving.  The front-end
+is deliberately thin: it owns the cluster-wide admission queues and the
+fair scheduler, resolves paths against per-client working directories,
+routes every request to its shard through the deterministic
+:class:`~repro.server.router.Router`, and translates client file
+descriptors to shard descriptors.  All shard state — caches, journals,
+fd tables — lives shard-side.
+
+Shards run either in-process (:class:`InlineShardHost`, ``jobs=1``) or
+each in its own worker process (:class:`ProcessShardHost`, ``jobs>1``)
+speaking a batched command protocol over a pipe.  Both hosts drive the
+*same* :class:`Shard` core with the *same* request stream, so one
+``(config, seed)`` pair produces one set of per-shard ack digests, bit
+for bit, at any ``jobs`` and on either execution engine — the cluster
+determinism contract.
+
+The explicit hard case is cross-shard ``rename``: the source and
+destination hash to different kernels, so no single shard can move the
+file atomically.  The front-end runs a two-phase protocol journaled in
+a :class:`ClusterIntentLog` — record the intent, copy the bytes through
+the destination shard's *normal acknowledged service path* (so the
+destination's own ack journal covers them), then unlink the source
+(covered by the source shard's journal) and mark the intent done.
+:meth:`ClusterService.audit_intents` replays the log after recovery:
+a ``done`` intent must hold (destination present, source absent), an
+interrupted one is rolled forward from the ``copied`` state or rolled
+back from ``begin``.  The 13-op protocol has no ``link``, so hard
+links across shards do not arise; the day the protocol grows one, it
+must take the same intent-log route.
+
+Process death is *not* in scope: Rio's stable store is the machine's
+memory, which lives inside the shard process.  Killing the process is
+a power failure, which the paper's Rio explicitly does not survive.
+Kernel crashes — the paper's subject — are recovered warm, in line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.server.protocol import (
+    Backpressure,
+    QuotaExceeded,
+    Request,
+    Response,
+    SessionError,
+)
+from repro.server.router import Router
+from repro.server.scheduler import RequestScheduler
+from repro.server.service import FileService, ServiceConfig
+from repro.server.session import resolve_path
+
+#: Reserved client id for cluster-internal traffic (fan-out sub-requests
+#: and cross-shard rename copies).  Real clients are numbered from 0;
+#: a million simulated clients is beyond any configuration here.
+INTERNAL_CLIENT = 1_000_000
+
+#: Chunk size for cross-shard rename copies.
+_COPY_CHUNK = 64 * 1024
+
+
+class ClusterError(ReproError):
+    """A shard worker failed outside the normal service error paths."""
+
+
+# ---------------------------------------------------------------------------
+# Shard core: one system + one service, same code under every host.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardSpec:
+    """Everything needed to build one shard (picklable: it crosses the
+    pipe to worker processes, which build the shard from scratch)."""
+
+    shard_id: int
+    system: str = "rio_prot"
+    fs_blocks: int = 2048
+    inode_blocks: int = 8
+    #: Machine memory override in bytes (None keeps the default 16 MB).
+    memory_bytes: Optional[int] = None
+    #: Pin the execution engine (None keeps the machine default).
+    fast_path: Optional[bool] = None
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Executed-request counts at which this shard force-crashes (the
+    #: rolling-storm schedule; each point fires once, in order).
+    crash_points: Tuple[int, ...] = ()
+    #: Start the flight recorder with shard-tagged events.
+    trace_events: bool = False
+
+
+def _shard_system_spec(spec: ShardSpec):
+    """Build the :class:`~repro.system.SystemSpec` for one shard.
+
+    Mirrors :func:`repro.reliability.campaign.system_spec_for` without
+    importing ``repro.reliability`` (whose package init imports
+    ``repro.server`` — a cycle).
+    """
+    from repro.core import RioConfig
+    from repro.system import SystemSpec
+
+    if spec.system == "disk":
+        base = SystemSpec(fs_type="ufs", policy="ufs", rio=None)
+    elif spec.system == "rio_noprot":
+        base = SystemSpec(
+            fs_type="ufs", policy="rio", rio=RioConfig.without_protection()
+        )
+    elif spec.system == "rio_prot":
+        base = SystemSpec(fs_type="ufs", policy="rio", rio=RioConfig.with_protection())
+    else:
+        raise ClusterError(f"unknown system {spec.system!r}")
+    base = replace(base, fs_blocks=spec.fs_blocks, inode_blocks=spec.inode_blocks)
+    machine = base.machine
+    if spec.memory_bytes is not None:
+        machine = replace(machine, memory_bytes=spec.memory_bytes)
+    if spec.fast_path is not None:
+        machine = replace(machine, fast_path=spec.fast_path)
+    return replace(base, machine=machine)
+
+
+class Shard:
+    """One kernel's worth of the cluster: a system plus its service.
+
+    ``step`` is the whole shard-facing API: submit a batch of
+    translated requests and drain them to completion.  A configured
+    crash point firing mid-step is absorbed by the shard's own
+    :class:`FileService` — the dying request is requeued exactly as
+    ``requeue_front`` always has, the warm reboot runs in line, and the
+    step returns a response for every submitted request regardless.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        from repro.system import build_system
+
+        self.spec = spec
+        self.system = build_system(_shard_system_spec(spec))
+        self.service = FileService(self.system, replace(spec.service))
+        self._points = sorted(spec.crash_points)
+        self._fired = 0
+        self.service.before_execute = self._storm_hook
+        if spec.trace_events:
+            recorder = getattr(self.system.machine, "recorder", None)
+            if recorder is not None:
+                recorder.static_tags["shard"] = spec.shard_id
+                recorder.start()
+
+    def _storm_hook(self, executed: int) -> None:
+        """Force a kernel crash at each configured executed count."""
+        if self._fired < len(self._points) and executed >= self._points[self._fired]:
+            self._fired += 1
+            self.system.machine.crash(
+                f"shard {self.spec.shard_id} storm crash "
+                f"{self._fired}/{len(self._points)}",
+                kind="forced",
+            )
+
+    def open_session(self, client_id: int) -> None:
+        """Create the client's shard session (idempotent)."""
+        self.service.open_session(client_id)
+
+    def step(self, requests: List[Request]) -> List[Response]:
+        """Submit ``requests`` and drain them; one response each."""
+        responses: List[Response] = []
+        for request in requests:
+            rejection = self.service.submit(request)
+            if rejection is not None:
+                responses.append(rejection)
+        responses.extend(self.service.drain())
+        return responses
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Scalar shard facts: digests, clock, counters (JSON-safe)."""
+        stats = self.service.stats
+        return {
+            "shard": self.spec.shard_id,
+            "clock_ns": self.system.clock.now_ns,
+            "ack_digest": self.service.journal.ack_digest(),
+            "state_digest": self.service.journal.state_digest(),
+            "journal_entries": len(self.service.journal),
+            "executed": stats.executed,
+            "acked": stats.acked,
+            "failed": stats.failed,
+            "crashes_detected": stats.crashes_detected,
+            "recoveries": stats.recoveries,
+            "transparent_retries": stats.transparent_retries,
+            "lost_acks": stats.lost_acks,
+        }
+
+    def audit(self) -> Dict[str, Any]:
+        """Run the shard's durability audit; scalar report."""
+        report = self.service.audit()
+        return {
+            "shard": self.spec.shard_id,
+            "ok": report.ok,
+            "lost": list(report.lost),
+            "files_checked": report.files_checked,
+            "dirs_checked": report.dirs_checked,
+            "absent_checked": report.absent_checked,
+        }
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The shard's flight-recorder stream (empty when untraced)."""
+        recorder = getattr(self.system.machine, "recorder", None)
+        if recorder is None:
+            return []
+        return recorder.to_json_list()
+
+    def handle(self, command: str, payload: Any) -> Any:
+        """Dispatch one host command (shared by both host kinds)."""
+        if command == "step":
+            return self.step(payload)
+        if command == "session":
+            return self.open_session(payload)
+        if command == "snapshot":
+            return self.snapshot()
+        if command == "audit":
+            return self.audit()
+        if command == "events":
+            return self.events()
+        raise ClusterError(f"unknown shard command {command!r}")
+
+
+# ---------------------------------------------------------------------------
+# Shard hosts: the same command stream, in-process or over a pipe.
+# ---------------------------------------------------------------------------
+
+
+class InlineShardHost:
+    """Runs the shard in-process; ``cast`` executes eagerly."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.shard = Shard(spec)
+        self._results: List[Any] = []
+
+    def cast(self, command: str, payload: Any = None) -> None:
+        """Execute the command now; the result queues for collect."""
+        self._results.append(self.shard.handle(command, payload))
+
+    def collect(self) -> Any:
+        """Pop the oldest result (FIFO, matching cast order)."""
+        return self._results.pop(0)
+
+    def close(self) -> None:
+        """Drop any uncollected results (the shard needs no teardown)."""
+        self._results.clear()
+
+
+def _shard_worker(conn, spec: ShardSpec) -> None:  # pragma: no cover - subprocess
+    """Worker-process loop: build the shard, serve pipe commands."""
+    shard = Shard(spec)
+    while True:
+        command, payload = conn.recv()
+        if command == "close":
+            conn.send((True, None))
+            conn.close()
+            return
+        try:
+            conn.send((True, shard.handle(command, payload)))
+        except Exception as exc:  # surface shard bugs to the front-end
+            conn.send((False, f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessShardHost:
+    """Runs the shard in its own worker process behind a pipe.
+
+    ``cast`` enqueues without waiting (the pipe is the per-shard
+    serialization), so the front-end can keep several shards' steps in
+    flight at once; ``collect`` returns replies in cast order.
+    """
+
+    def __init__(self, spec: ShardSpec, ctx=None) -> None:
+        ctx = ctx or multiprocessing.get_context()
+        self._conn, child = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_shard_worker, args=(child, spec), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self._pending = 0
+
+    def cast(self, command: str, payload: Any = None) -> None:
+        """Send the command down the pipe without waiting for a reply."""
+        self._conn.send((command, payload))
+        self._pending += 1
+
+    def collect(self) -> Any:
+        """Receive the next reply (cast order); raise on worker errors."""
+        self._pending -= 1
+        ok, result = self._conn.recv()
+        if not ok:
+            raise ClusterError(f"shard worker failed: {result}")
+        return result
+
+    def close(self) -> None:
+        """Ask the worker to exit, then join (terminate as last resort)."""
+        if self._process.is_alive():
+            try:
+                self._conn.send(("close", None))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._conn.close()
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+
+
+# ---------------------------------------------------------------------------
+# The cross-shard rename intent log.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RenameIntent:
+    """One cross-shard rename's durable intent record."""
+
+    intent_id: int
+    client_id: int
+    req_id: int
+    old: str
+    new: str
+    src_shard: int
+    dst_shard: int
+    #: "begin" -> "copied" -> "done" (or "aborted" on a clean failure).
+    state: str = "begin"
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serializable copy (the digest's canonical form)."""
+        return dict(self.__dict__)
+
+
+class ClusterIntentLog:
+    """Ordered two-phase intent records for cross-shard renames.
+
+    The log is the front-end's crash-consistency anchor for the one
+    operation no single shard journal can cover end to end.  Every
+    record moves ``begin -> copied -> done``; anything short of
+    ``done``/``aborted`` after a disturbance is repaired by
+    :meth:`ClusterService.audit_intents` — forward from ``copied``
+    (the destination's bytes are acknowledged; finish the unlink),
+    backward from ``begin`` (nothing acknowledged yet; drop any
+    partial copy).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[RenameIntent] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def begin(
+        self,
+        client_id: int,
+        req_id: int,
+        old: str,
+        new: str,
+        src_shard: int,
+        dst_shard: int,
+    ) -> RenameIntent:
+        """Open a new intent in state "begin" and return it."""
+        intent = RenameIntent(
+            intent_id=len(self.records),
+            client_id=client_id,
+            req_id=req_id,
+            old=old,
+            new=new,
+            src_shard=src_shard,
+            dst_shard=dst_shard,
+        )
+        self.records.append(intent)
+        return intent
+
+    def advance(self, intent: RenameIntent, state: str) -> None:
+        """Move one intent forward ("copied", "done", or "aborted")."""
+        if state not in ("copied", "done", "aborted"):
+            raise ClusterError(f"bad intent state {state!r}")
+        intent.state = state
+
+    def open_intents(self) -> List[RenameIntent]:
+        """Records not yet settled (neither done nor aborted)."""
+        return [r for r in self.records if r.state not in ("done", "aborted")]
+
+    def digest(self) -> str:
+        """sha256 over the canonical ordered log."""
+        import json
+
+        h = hashlib.sha256()
+        for record in self.records:
+            h.update(
+                json.dumps(
+                    record.to_json_dict(), sort_keys=True, separators=(",", ":")
+                ).encode()
+            )
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cluster front-end.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterFd:
+    """Front-end descriptor record: which shard holds the real fd."""
+
+    STALE = -1
+
+    cfd: int
+    shard: int
+    shard_fd: int
+    path: str
+
+
+@dataclass
+class ClusterSession:
+    """A client's front-end state: cwd plus the cluster fd table."""
+
+    client_id: int
+    cwd: str
+    fds: Dict[int, ClusterFd] = field(default_factory=dict)
+    next_cfd: int = 3
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of one cluster."""
+
+    shards: int = 2
+    system: str = "rio_prot"
+    #: Router key mode: "dir" colocates a directory's entries on one
+    #: shard (client homes land whole); "hash" scatters by full path.
+    router_mode: str = "dir"
+    #: Virtual ring points per shard; more points, less arc-length
+    #: imbalance (the scaling curve's enemy at high shard counts).
+    vnodes: int = 128
+    #: Cluster-level per-client admission queue depth.
+    queue_depth: int = 32
+    #: Requests per front-end scheduling batch.
+    batch_size: int = 32
+    quantum: int = 4
+    #: Cluster-wide per-client open-descriptor quota.
+    max_open_fds: int = 16
+    #: Per-shard file system geometry.
+    fs_blocks: int = 2048
+    inode_blocks: int = 8
+    #: Per-shard machine memory override (None: the default 16 MB).
+    memory_bytes: Optional[int] = None
+    home_prefix: str = "/srv"
+    #: Pin the execution engine on every shard.
+    fast_path: Optional[bool] = None
+    #: Rolling-storm schedule: shard id -> executed-count crash points.
+    crash_points: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: Shard-side service tunables.  The shard queue must swallow a
+    #: whole front-end batch plus fan-out traffic; shard-side quotas
+    #: are disabled because the front-end enforces the real ones.
+    shard_queue_depth: int = 512
+    shard_batch_size: int = 16
+    trace_events: bool = False
+
+
+@dataclass
+class ClusterStats:
+    """Front-end counters (shard counters live in shard snapshots)."""
+
+    submitted: int = 0
+    rejected: int = 0
+    routed: int = 0
+    fanouts: int = 0
+    local_failures: int = 0
+    cross_renames: int = 0
+    cross_rename_failures: int = 0
+
+
+class ClusterService:
+    """N independent Machine+Kernel shards behind one deterministic router.
+
+    ``jobs=1`` hosts every shard in-process; ``jobs>1`` gives every
+    shard its own worker process.  The command streams are identical,
+    so digests are too.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *, jobs: int = 1) -> None:
+        self.config = config or ClusterConfig()
+        self.router = Router(
+            self.config.shards,
+            mode=self.config.router_mode,
+            vnodes=self.config.vnodes,
+        )
+        self.scheduler = RequestScheduler(self.config.queue_depth)
+        self.sessions: Dict[int, ClusterSession] = {}
+        self.intents = ClusterIntentLog()
+        self.stats = ClusterStats()
+        #: Test hook: called with (phase, intent) at "pre-copy" and
+        #: "pre-unlink" during a cross-shard rename, so the suite can
+        #: land a shard crash exactly inside the two-phase window.
+        self.rename_hook: Optional[Callable[[str, RenameIntent], None]] = None
+        self._shard_sessions: Set[Tuple[int, int]] = set()
+        self._next_internal_req = 1
+        shard_service = ServiceConfig(
+            queue_depth=self.config.shard_queue_depth,
+            batch_size=self.config.shard_batch_size,
+            quantum=self.config.quantum,
+            max_open_fds=1_000_000_000,
+            auto_recover=True,
+            home_prefix=self.config.home_prefix,
+        )
+        specs = [
+            ShardSpec(
+                shard_id=shard,
+                system=self.config.system,
+                fs_blocks=self.config.fs_blocks,
+                inode_blocks=self.config.inode_blocks,
+                memory_bytes=self.config.memory_bytes,
+                fast_path=self.config.fast_path,
+                service=shard_service,
+                crash_points=tuple(self.config.crash_points.get(shard, ())),
+                trace_events=self.config.trace_events,
+            )
+            for shard in range(self.config.shards)
+        ]
+        if jobs > 1:
+            self.hosts: List[Any] = [ProcessShardHost(spec) for spec in specs]
+        else:
+            self.hosts = [InlineShardHost(spec) for spec in specs]
+        self.jobs = jobs
+        # The internal session exists on every shard from the start so
+        # fan-out and rename machinery never races session creation.
+        for host in self.hosts:
+            host.cast("session", INTERNAL_CLIENT)
+        for host in self.hosts:
+            host.collect()
+
+    # -- plumbing ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every shard host (idempotent)."""
+        for host in self.hosts:
+            host.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _internal_request(self, op: str, **kwargs) -> Request:
+        request = Request(
+            client_id=INTERNAL_CLIENT,
+            req_id=self._next_internal_req,
+            op=op,
+            **kwargs,
+        )
+        self._next_internal_req += 1
+        return request
+
+    def _shard_call(self, shard: int, command: str, payload: Any = None) -> Any:
+        host = self.hosts[shard]
+        host.cast(command, payload)
+        return host.collect()
+
+    def _internal_step(self, shard: int, request: Request) -> Response:
+        return self._shard_call(shard, "step", [request])[0]
+
+    def _ensure_session(self, client_id: int, shard: int, casts: List) -> None:
+        """Queue a shard session-open for the client if missing."""
+        key = (client_id, shard)
+        if key in self._shard_sessions:
+            return
+        self._shard_sessions.add(key)
+        self.hosts[shard].cast("session", client_id)
+        casts.append(("session", shard, None))
+
+    def _ensure_sessions_sync(self, client_id: int, shards) -> None:
+        """Open the client's session on the given shards, synchronously.
+
+        The barriers (fan-out, chdir, cross-shard rename) touch shards
+        the client may never have been routed to; the shard-side
+        session open also creates the client's home directory, which
+        those operations resolve under.
+        """
+        casts: List = []
+        for shard in shards:
+            self._ensure_session(client_id, shard, casts)
+        for _, shard, _ in casts:
+            self.hosts[shard].collect()
+
+    # -- sessions ------------------------------------------------------
+
+    def open_session(self, client_id: int) -> ClusterSession:
+        """Create the client's front-end session (shard sessions are
+        created lazily, on the first request routed to each shard)."""
+        if client_id in self.sessions:
+            return self.sessions[client_id]
+        home = f"{self.config.home_prefix}/c{client_id:03d}"
+        session = ClusterSession(client_id=client_id, cwd=home)
+        self.sessions[client_id] = session
+        return session
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, request: Request) -> Optional[Response]:
+        """Admit a request into the cluster-wide scheduler.
+
+        Mirrors :meth:`FileService.submit`: ``None`` on admission, an
+        immediate retryable response on backpressure.  Time stamps are
+        applied shard-side (each shard has its own virtual clock), so
+        latencies are shard-local and deterministic.
+        """
+        self.stats.submitted += 1
+        if request.client_id not in self.sessions:
+            self.stats.submitted -= 1
+            self.stats.rejected += 1
+            return Response.failure(
+                request, SessionError(f"no session for client {request.client_id}")
+            )
+        try:
+            self.scheduler.enqueue(request)
+        except Backpressure as exc:
+            self.stats.submitted -= 1
+            self.stats.rejected += 1
+            return Response.failure(request, exc)
+        return None
+
+    def backlog(self) -> int:
+        """Requests admitted but not yet dispatched to a shard."""
+        return self.scheduler.backlog()
+
+    # -- the pump ------------------------------------------------------
+
+    def pump(self) -> List[Response]:
+        """Dispatch one scheduled batch across the shards.
+
+        Single-shard requests are grouped per shard and the groups run
+        concurrently (each shard's pipe serializes its own stream);
+        fan-out operations, cross-shard renames and ``chdir`` are
+        barriers — the open groups are collected first, then the
+        barrier runs synchronously.  Response order is deterministic:
+        per segment, shards ascending, each shard's responses in its
+        service's execution order.
+        """
+        batch = self.scheduler.next_batch(self.config.batch_size, self.config.quantum)
+        if not batch:
+            return []
+        out: List[Response] = []
+        segment: List[Tuple[int, Request, Optional[Callable]]] = []
+        for request in batch:
+            kind, payload = self._translate(request)
+            if kind == "local":
+                self.stats.local_failures += 1
+                out.append(payload)
+            elif kind == "shard":
+                self.stats.routed += 1
+                segment.append(payload)
+            else:
+                out.extend(self._dispatch(segment))
+                segment = []
+                if kind == "fanout":
+                    self.stats.fanouts += 1
+                    out.append(self._fanout(payload))
+                elif kind == "chdir":
+                    out.append(self._chdir(payload))
+                else:  # "xrename"
+                    out.append(self._cross_rename(*payload))
+        out.extend(self._dispatch(segment))
+        return out
+
+    def drain(self, max_batches: int = 100_000) -> List[Response]:
+        """Pump until the cluster scheduler is empty."""
+        responses: List[Response] = []
+        for _ in range(max_batches):
+            got = self.pump()
+            if not got and self.backlog() == 0:
+                break
+            responses.extend(got)
+        return responses
+
+    # -- request translation -------------------------------------------
+
+    def _translate(self, request: Request):
+        """Classify one client request into a dispatch plan item.
+
+        Returns ``(kind, payload)`` where kind is ``"shard"`` (a
+        translated single-shard request plus its response finisher),
+        ``"fanout"``/``"chdir"``/``"xrename"`` (barriers), or
+        ``"local"`` (answered front-side, usually an error).
+        """
+        session = self.sessions[request.client_id]
+        op = request.op
+
+        if op in ("read", "write", "fsync", "truncate", "close"):
+            entry = session.fds.get(request.fd) if request.fd is not None else None
+            if entry is None:
+                return "local", Response.failure(
+                    request,
+                    SessionError(
+                        f"client {request.client_id}: unknown fd {request.fd}"
+                    ),
+                )
+            if entry.shard_fd == ClusterFd.STALE:
+                return "local", Response.failure(
+                    request,
+                    SessionError(
+                        f"client {request.client_id}: fd {request.fd} went "
+                        "stale across a cross-shard rename"
+                    ),
+                )
+            translated = replace(request, fd=entry.shard_fd)
+            finisher = None
+            if op == "close":
+                cfd = request.fd
+
+                def finisher(response: Response, _session=session, _cfd=cfd):
+                    if response.ok:
+                        _session.fds.pop(_cfd, None)
+                    return response
+
+            return "shard", (entry.shard, translated, finisher)
+
+        if op == "open":
+            path = resolve_path(session.cwd, request.path)
+            if len(session.fds) >= self.config.max_open_fds:
+                return "local", Response.failure(
+                    request,
+                    QuotaExceeded(
+                        f"client {request.client_id}: open-fd quota "
+                        f"({self.config.max_open_fds}) exhausted"
+                    ),
+                )
+            shard = self.router.shard_for(path)
+            translated = replace(request, path=path)
+
+            def finisher(response: Response, _session=session, _shard=shard, _path=path):
+                if response.ok:
+                    entry = ClusterFd(
+                        cfd=_session.next_cfd,
+                        shard=_shard,
+                        shard_fd=response.value,
+                        path=_path,
+                    )
+                    _session.fds[entry.cfd] = entry
+                    _session.next_cfd += 1
+                    response.value = entry.cfd
+                return response
+
+            return "shard", (shard, translated, finisher)
+
+        if op == "readdir" and self.router.mode == "dir":
+            # Dir mode colocates a directory's files on the shard owning
+            # its key, and directory shells replicate everywhere — so
+            # that one shard holds the complete listing.  No fan-out.
+            path = resolve_path(session.cwd, request.path)
+            shard = self.router.shard_for_key(path)
+            return "shard", (shard, replace(request, path=path), None)
+
+        if op in ("mkdir", "rmdir", "readdir"):
+            return "fanout", request
+
+        if op in ("stat", "unlink"):
+            path = resolve_path(session.cwd, request.path)
+            shard = self.router.shard_for(path)
+            return "shard", (shard, replace(request, path=path), None)
+
+        if op == "rename":
+            old = resolve_path(session.cwd, request.path)
+            new = resolve_path(session.cwd, request.new_path)
+            src = self.router.shard_for(old)
+            dst = self.router.shard_for(new)
+            if src == dst:
+                translated = replace(request, path=old, new_path=new)
+
+                def finisher(response: Response, _old=old, _new=new):
+                    if response.ok:
+                        self._repoint_fds(_old, _new, stale=False)
+                    return response
+
+                return "shard", (src, translated, finisher)
+            return "xrename", (request, old, new, src, dst)
+
+        if op == "chdir":
+            return "chdir", request
+
+        return "local", Response.failure(
+            request, SessionError(f"unknown op {request.op!r}")
+        )
+
+    def _repoint_fds(self, old: str, new: str, *, stale: bool) -> None:
+        """Update every cluster fd open on ``old`` after a rename.
+
+        Intra-shard renames keep descriptors valid (the shard service
+        re-points its own fd table), so the front-end just renames the
+        path.  A cross-shard rename moves the bytes to another kernel,
+        so descriptors on the source go stale — exactly like a network
+        file system's handle after a cross-server migration.
+        """
+        for session in self.sessions.values():
+            for entry in session.fds.values():
+                if entry.path == old:
+                    entry.path = new
+                    if stale:
+                        entry.shard_fd = ClusterFd.STALE
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self, segment: List[Tuple[int, Request, Optional[Callable]]]):
+        """Run one barrier-free segment: group per shard, overlap, collect."""
+        if not segment:
+            return []
+        by_shard: Dict[int, List[Tuple[Request, Optional[Callable]]]] = {}
+        for shard, translated, finisher in segment:
+            by_shard.setdefault(shard, []).append((translated, finisher))
+        casts: List[Tuple[str, int, Any]] = []
+        for shard in sorted(by_shard):
+            entries = by_shard[shard]
+            for translated, _ in entries:
+                self._ensure_session(translated.client_id, shard, casts)
+            self.hosts[shard].cast("step", [t for t, _ in entries])
+            casts.append(("step", shard, entries))
+        out: List[Response] = []
+        for kind, shard, entries in casts:
+            result = self.hosts[shard].collect()
+            if kind == "session":
+                continue
+            finishers = {
+                (t.client_id, t.req_id): f for t, f in entries if f is not None
+            }
+            for response in result:
+                finisher = finishers.get((response.client_id, response.req_id))
+                out.append(finisher(response) if finisher else response)
+        return out
+
+    def _run_internal(self, shard: int, request: Request) -> Response:
+        """One internal sub-request, sessions guaranteed."""
+        return self._internal_step(shard, request)
+
+    # -- barriers ------------------------------------------------------
+
+    def _merged_failure(self, request: Request, sub: Response) -> Response:
+        """A client response carrying a sub-response's failure."""
+        return Response(
+            client_id=request.client_id,
+            req_id=request.req_id,
+            op=request.op,
+            ok=False,
+            error=sub.error,
+            retryable=sub.retryable,
+            submitted_ns=sub.submitted_ns,
+            completed_ns=sub.completed_ns,
+        )
+
+    def _fanout_step(self, op: str, path: str) -> List[Response]:
+        """One internal request per shard, overlapped; shard order."""
+        for shard in range(self.config.shards):
+            sub = self._internal_request(op, path=path)
+            self.hosts[shard].cast("step", [sub])
+        return [host.collect()[0] for host in self.hosts]
+
+    def _fanout(self, request: Request) -> Response:
+        """Run mkdir/rmdir (and hash-mode readdir) on every shard.
+
+        Directory *shells* are replicated: a directory exists on every
+        shard so any shard can hold files under it.  ``readdir`` is
+        the union of every shard's view; ``mkdir`` succeeds only when
+        every shard succeeded (the shards' directory sets only move in
+        lock step, so a split verdict indicates real divergence and is
+        surfaced as the lowest shard's error).  ``rmdir`` probes every
+        shard's listing *first* and only deletes once all report empty
+        — a one-shot fan-out would strip the shells from the empty
+        shards while the shard holding files refuses, leaving the
+        directory sets diverged.
+        """
+        session = self.sessions[request.client_id]
+        path = resolve_path(session.cwd, request.path)
+        self._ensure_sessions_sync(request.client_id, range(self.config.shards))
+        if request.op == "rmdir":
+            probes = self._fanout_step("readdir", path)
+            failed = [r for r in probes if not r.ok]
+            if failed:
+                return self._merged_failure(request, failed[0])
+            blocked = [r for r in probes if r.value]
+            if blocked:
+                return Response(
+                    client_id=request.client_id,
+                    req_id=request.req_id,
+                    op=request.op,
+                    ok=False,
+                    error="ENOTEMPTY",
+                    retryable=False,
+                    submitted_ns=blocked[0].submitted_ns,
+                    completed_ns=blocked[0].completed_ns,
+                )
+        subs = self._fanout_step(request.op, path)
+        slowest = max(subs, key=lambda r: r.latency_ns)
+        failed = [r for r in subs if not r.ok]
+        if failed:
+            return self._merged_failure(request, failed[0])
+        value = None
+        if request.op == "readdir":
+            names: Set[str] = set()
+            for sub in subs:
+                names.update(sub.value or [])
+            value = sorted(names)
+        return Response(
+            client_id=request.client_id,
+            req_id=request.req_id,
+            op=request.op,
+            ok=True,
+            value=value,
+            submitted_ns=slowest.submitted_ns,
+            completed_ns=slowest.completed_ns,
+        )
+
+    def _chdir(self, request: Request) -> Response:
+        """Resolve and validate a chdir front-side (cwd is front-end
+        state; shard sessions always receive absolute paths)."""
+        session = self.sessions[request.client_id]
+        path = resolve_path(session.cwd, request.path)
+        shard = self.router.shard_for(path)
+        self._ensure_sessions_sync(request.client_id, (shard,))
+        probe = self._run_internal(shard, self._internal_request("stat", path=path))
+        if probe.ok and probe.value.get("exists"):
+            session.cwd = path
+            return Response(
+                client_id=request.client_id,
+                req_id=request.req_id,
+                op=request.op,
+                ok=True,
+                value=path,
+                submitted_ns=probe.submitted_ns,
+                completed_ns=probe.completed_ns,
+            )
+        return Response(
+            client_id=request.client_id,
+            req_id=request.req_id,
+            op=request.op,
+            ok=False,
+            error="ENOENT",
+            retryable=False,
+            submitted_ns=probe.submitted_ns,
+            completed_ns=probe.completed_ns,
+        )
+
+    # -- the hard case: cross-shard rename ------------------------------
+
+    def _cross_rename(
+        self, request: Request, old: str, new: str, src: int, dst: int
+    ) -> Response:
+        """Move a file between kernels under a two-phase intent record.
+
+        Phase 1 reads the source through the source shard's normal
+        service path; phase 2 writes the destination through the
+        destination shard's path (create + truncate + write, all
+        acknowledged into *that* shard's journal) and advances the
+        intent to ``copied``; phase 3 unlinks the source (acknowledged
+        into the *source* shard's journal) and marks the intent
+        ``done``.  A shard crash inside any phase is recovered by that
+        shard in line — the sub-request is requeued and re-executed —
+        so the phases always complete; the intent log exists to make
+        the window *auditable* and to drive roll-forward/back if the
+        front-end is ever interrupted between phases
+        (:meth:`audit_intents`).
+        """
+        self.stats.cross_renames += 1
+        self._ensure_sessions_sync(request.client_id, (src, dst))
+        intent = self.intents.begin(request.client_id, request.req_id, old, new, src, dst)
+        if self.rename_hook is not None:
+            self.rename_hook("pre-copy", intent)
+        # Phase 1: read the whole source file.
+        probe = self._run_internal(src, self._internal_request("stat", path=old))
+        if not probe.ok or not probe.value.get("exists"):
+            self.intents.advance(intent, "aborted")
+            self.stats.cross_rename_failures += 1
+            return Response(
+                client_id=request.client_id,
+                req_id=request.req_id,
+                op=request.op,
+                ok=False,
+                error="ENOENT",
+                retryable=False,
+                submitted_ns=probe.submitted_ns,
+                completed_ns=probe.completed_ns,
+            )
+        size = probe.value.get("size") or 0
+        opened = self._run_internal(src, self._internal_request("open", path=old))
+        if not opened.ok:
+            self.intents.advance(intent, "aborted")
+            self.stats.cross_rename_failures += 1
+            return self._merged_failure(request, opened)
+        src_fd = opened.value
+        chunks: List[bytes] = []
+        offset = 0
+        while offset < size:
+            got = self._run_internal(
+                src,
+                self._internal_request(
+                    "read", fd=src_fd, offset=offset, length=min(_COPY_CHUNK, size - offset)
+                ),
+            )
+            if not got.ok or not got.value:
+                break
+            chunks.append(got.value)
+            offset += len(got.value)
+        self._run_internal(src, self._internal_request("close", fd=src_fd))
+        data = b"".join(chunks)
+        # Phase 2: write the destination through its own journaled path.
+        created = self._run_internal(
+            dst, self._internal_request("open", path=new, create=True)
+        )
+        if not created.ok:
+            self.intents.advance(intent, "aborted")
+            self.stats.cross_rename_failures += 1
+            return self._merged_failure(request, created)
+        dst_fd = created.value
+        self._run_internal(dst, self._internal_request("truncate", fd=dst_fd))
+        if data:
+            self._run_internal(
+                dst, self._internal_request("write", fd=dst_fd, offset=0, data=data)
+            )
+        self._run_internal(dst, self._internal_request("close", fd=dst_fd))
+        self.intents.advance(intent, "copied")
+        if self.rename_hook is not None:
+            self.rename_hook("pre-unlink", intent)
+        # Phase 3: drop the source; ENOENT means someone beat us to it.
+        gone = self._run_internal(src, self._internal_request("unlink", path=old))
+        if gone.ok or gone.error == "ENOENT":
+            self.intents.advance(intent, "done")
+            self._repoint_fds(old, new, stale=True)
+            return Response(
+                client_id=request.client_id,
+                req_id=request.req_id,
+                op=request.op,
+                ok=True,
+                value=None,
+                submitted_ns=gone.submitted_ns,
+                completed_ns=gone.completed_ns,
+            )
+        self.stats.cross_rename_failures += 1
+        return self._merged_failure(request, gone)
+
+    # -- audits --------------------------------------------------------
+
+    def audit_intents(self) -> Dict[str, Any]:
+        """Audit the intent log against the shards; repair open records.
+
+        A ``done`` intent must hold — destination present, source
+        absent; a violation is reported (it would mean a shard lost an
+        acknowledged operation, which its own audit also flags).  An
+        intent caught mid-flight is repaired: rolled *forward* from
+        ``copied`` (the destination's bytes are acknowledged — finish
+        the unlink), rolled *back* from ``begin`` (drop any partial
+        destination; the source was never touched).
+        """
+        violations: List[str] = []
+        rolled_forward = rolled_back = 0
+        for intent in self.intents.open_intents():
+            if intent.state == "copied":
+                gone = self._run_internal(
+                    intent.src_shard, self._internal_request("unlink", path=intent.old)
+                )
+                if gone.ok or gone.error == "ENOENT":
+                    self.intents.advance(intent, "done")
+                    self._repoint_fds(intent.old, intent.new, stale=True)
+                    rolled_forward += 1
+                else:
+                    violations.append(
+                        f"intent {intent.intent_id}: roll-forward unlink "
+                        f"{intent.old} failed ({gone.error})"
+                    )
+            else:  # "begin": nothing acknowledged at the destination yet
+                self._run_internal(
+                    intent.dst_shard, self._internal_request("unlink", path=intent.new)
+                )
+                self.intents.advance(intent, "aborted")
+                rolled_back += 1
+        for intent in self.intents.records:
+            if intent.state != "done":
+                continue
+            dst = self._run_internal(
+                intent.dst_shard, self._internal_request("stat", path=intent.new)
+            )
+            src = self._run_internal(
+                intent.src_shard, self._internal_request("stat", path=intent.old)
+            )
+            if not (dst.ok and dst.value.get("exists")):
+                violations.append(
+                    f"intent {intent.intent_id}: destination {intent.new} "
+                    "missing after completion"
+                )
+            if src.ok and src.value.get("exists"):
+                violations.append(
+                    f"intent {intent.intent_id}: source {intent.old} "
+                    "resurrected after completion"
+                )
+        return {
+            "intents": len(self.intents),
+            "open": len(self.intents.open_intents()),
+            "rolled_forward": rolled_forward,
+            "rolled_back": rolled_back,
+            "violations": violations,
+            "ok": not violations,
+        }
+
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """One scalar snapshot per shard, in shard order."""
+        for host in self.hosts:
+            host.cast("snapshot")
+        return [host.collect() for host in self.hosts]
+
+    def audits(self) -> List[Dict[str, Any]]:
+        """One durability-audit report per shard, in shard order."""
+        for host in self.hosts:
+            host.cast("audit")
+        return [host.collect() for host in self.hosts]
+
+    def cluster_digest(self) -> str:
+        """sha256 over every shard's ack+state digest plus the intent log.
+
+        The cluster determinism fixture: identical at any ``jobs`` and
+        on either execution engine for one ``(config, seed)``.
+        """
+        h = hashlib.sha256()
+        for snap in self.snapshots():
+            h.update(
+                f"{snap['shard']} {snap['ack_digest']} {snap['state_digest']}\n".encode()
+            )
+        h.update(self.intents.digest().encode())
+        return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cluster load driver.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterLoadReport:
+    """The outcome of one :func:`run_cluster_load` drive."""
+
+    shards: int = 0
+    clients: int = 0
+    acked: int = 0
+    failed: int = 0
+    retried: int = 0
+    rejected: int = 0
+    rounds: int = 0
+    #: Max per-shard elapsed virtual time (shards run concurrently, so
+    #: the cluster is done when its slowest shard is).
+    wall_virtual_ns: int = 0
+    latencies_ns: List[int] = field(default_factory=list)
+    shard_snapshots: List[Dict[str, Any]] = field(default_factory=list)
+    cluster_digest: str = ""
+    intent_digest: str = ""
+
+    @property
+    def throughput_ops_per_vsec(self) -> float:
+        """Acknowledged operations per virtual second (cluster-wide)."""
+        if self.wall_virtual_ns <= 0:
+            return 0.0
+        return self.acked / (self.wall_virtual_ns / 1e9)
+
+    def latency_percentile(self, fraction: float) -> int:
+        """The request-latency percentile at ``fraction`` (0..1), in ns."""
+        from repro.server.loadgen import percentile
+
+        return percentile(self.latencies_ns, fraction)
+
+
+def run_cluster_load(
+    cluster: ClusterService,
+    clients,
+    *,
+    max_rounds: int = 1_000_000,
+) -> ClusterLoadReport:
+    """Drive load clients against a cluster until all are done.
+
+    The same round structure as :func:`repro.server.run_load` — top up
+    every pipeline in client-id order, pump one batch, deliver — so a
+    ``(seed, clients, ops)`` triple is exactly as deterministic here as
+    against a single service.
+    """
+    report = ClusterLoadReport(shards=cluster.config.shards, clients=len(clients))
+    by_id = {client.client_id: client for client in clients}
+    for client in clients:
+        cluster.open_session(client.client_id)
+    starts = {snap["shard"]: snap["clock_ns"] for snap in cluster.snapshots()}
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        idle = True
+        for client in clients:
+            while True:
+                request = client.next_request()
+                if request is None:
+                    break
+                idle = False
+                rejection = cluster.submit(request)
+                if rejection is not None:
+                    client.on_response(rejection)
+                    break
+        for response in cluster.pump():
+            idle = False
+            owner = by_id.get(response.client_id)
+            if owner is not None:
+                owner.on_response(response)
+        if idle and cluster.backlog() == 0:
+            if all(client.done for client in clients):
+                break
+    report.rounds = rounds
+    report.shard_snapshots = cluster.snapshots()
+    report.wall_virtual_ns = max(
+        snap["clock_ns"] - starts[snap["shard"]] for snap in report.shard_snapshots
+    )
+    for client in clients:
+        stats = client.stats
+        report.acked += stats.acked
+        report.failed += stats.failed
+        report.retried += stats.retried
+        report.rejected += stats.rejected
+        report.latencies_ns.extend(stats.latencies_ns)
+    report.cluster_digest = cluster.cluster_digest()
+    report.intent_digest = cluster.intents.digest()
+    return report

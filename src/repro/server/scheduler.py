@@ -11,10 +11,17 @@ requests until the batch is full or every queue is empty.  Everything
 is a pure function of the submission order, so one seed produces one
 schedule — the property the traffic-under-faults determinism suite
 pins down.
+
+The rotation order is maintained *incrementally*: a sorted list of
+active (non-empty) client ids is updated on enqueue and on drain, so
+assembling a batch costs O(batch) visits plus a bisect — not a full
+``sorted()`` rescan of every client queue per batch, which at cluster
+scale (thousands of clients) used to dominate the pump loop.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from collections import deque
 from typing import Deque, Dict, List
 
@@ -29,6 +36,10 @@ class RequestScheduler:
             raise ValueError("queue_depth must be positive")
         self.queue_depth = queue_depth
         self._queues: Dict[int, Deque[Request]] = {}
+        #: Sorted ids of clients with a non-empty queue.  Invariant:
+        #: ``cid in _active`` iff ``_queues[cid]`` is non-empty, so every
+        #: visit during batch assembly takes at least one request.
+        self._active: List[int] = []
         #: Client id after which the next batch's rotation starts.
         self._resume_after: int = -1
 
@@ -41,6 +52,8 @@ class RequestScheduler:
             raise Backpressure(
                 f"client {request.client_id}: queue depth {self.queue_depth} reached"
             )
+        if not queue:
+            insort(self._active, request.client_id)
         queue.append(request)
 
     def requeue_front(self, requests: List[Request]) -> None:
@@ -51,7 +64,10 @@ class RequestScheduler:
         timestamps, so their latency honestly includes the recovery).
         """
         for request in reversed(requests):
-            self._queues.setdefault(request.client_id, deque()).appendleft(request)
+            queue = self._queues.setdefault(request.client_id, deque())
+            if not queue:
+                insort(self._active, request.client_id)
+            queue.appendleft(request)
 
     # -- introspection -------------------------------------------------
 
@@ -71,39 +87,30 @@ class RequestScheduler:
     def next_batch(self, batch_size: int, quantum: int = 4) -> List[Request]:
         """Assemble the next batch by rotating deficit round-robin.
 
-        Visits clients in ascending id order starting after the client
-        that ended the previous batch; each visit takes up to
-        ``quantum`` requests.  Returns at most ``batch_size`` requests
+        Visits active clients in ascending id order starting after the
+        client that ended the previous batch, wrapping circularly; each
+        visit takes up to ``quantum`` requests and a drained client
+        leaves the active list.  Returns at most ``batch_size`` requests
         (empty when nothing is queued).
         """
         if batch_size <= 0 or quantum <= 0:
             raise ValueError("batch_size and quantum must be positive")
-        ids = [cid for cid in sorted(self._queues) if self._queues[cid]]
-        if not ids:
-            return []
-        # Rotate so fairness carries across batches.
-        start = 0
-        for index, cid in enumerate(ids):
-            if cid > self._resume_after:
-                start = index
-                break
-        else:
-            start = 0
-        ids = ids[start:] + ids[:start]
+        active = self._active
+        index = bisect_right(active, self._resume_after)
         batch: List[Request] = []
-        while len(batch) < batch_size:
-            progressed = False
-            for cid in ids:
-                queue = self._queues[cid]
-                took = 0
-                while queue and took < quantum and len(batch) < batch_size:
-                    batch.append(queue.popleft())
-                    took += 1
-                if took:
-                    progressed = True
-                    self._resume_after = cid
-                if len(batch) >= batch_size:
-                    break
-            if not progressed:
-                break
+        while active and len(batch) < batch_size:
+            if index >= len(active):
+                index = 0
+            cid = active[index]
+            queue = self._queues[cid]
+            took = 0
+            while queue and took < quantum and len(batch) < batch_size:
+                batch.append(queue.popleft())
+                took += 1
+            self._resume_after = cid
+            if queue:
+                index += 1
+            else:
+                # The next-larger id slides into `index`; no advance.
+                active.pop(index)
         return batch

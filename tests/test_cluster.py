@@ -1,0 +1,466 @@
+"""The multi-kernel cluster: routing, crash transparency, determinism.
+
+The contracts under test, in the order the module docstring states
+them: the router is a pure function of the path (and balances), a
+shard's kernel crash is invisible to clients (zero lost acks, storm
+acked == calm acked), the cluster digest is bit-identical across
+``jobs`` and across execution engines, and the cross-shard rename —
+the one operation no single shard journal covers — moves the bytes,
+settles its intent record, and survives crashes landed inside its
+two-phase window.
+"""
+
+import pytest
+
+from repro.obs.events import FlightRecorder
+from repro.server import (
+    ClusterConfig,
+    ClusterService,
+    LoadClient,
+    LoadSpec,
+    Request,
+    Router,
+    run_cluster_load,
+)
+from repro.reliability import (
+    ClusterTrafficConfig,
+    rolling_crash_points,
+    run_cluster_campaign,
+)
+
+LIGHT = LoadSpec(ops_per_client=15, files_per_client=2)
+
+
+def _drive(cluster, client_ids, requests):
+    """Submit raw requests, drain, and index responses by req id."""
+    for client_id in client_ids:
+        cluster.open_session(client_id)
+    responses = {}
+    for request in requests:
+        rejection = cluster.submit(request)
+        assert rejection is None, rejection
+    for response in cluster.drain():
+        responses[(response.client_id, response.req_id)] = response
+    return responses
+
+
+# -- router ------------------------------------------------------------
+
+
+def test_router_is_deterministic_and_pure():
+    a = Router(4, mode="hash")
+    b = Router(4, mode="hash")
+    paths = [f"/srv/c{c:03d}/f{i}" for c in range(32) for i in range(4)]
+    assert [a.shard_for(p) for p in paths] == [b.shard_for(p) for p in paths]
+    for p in paths:
+        assert 0 <= a.shard_for(p) < 4
+
+
+def test_router_dir_mode_colocates_directories():
+    router = Router(8, mode="dir")
+    for c in range(64):
+        home = f"/srv/c{c:03d}"
+        shards = {router.shard_for(f"{home}/f{i}") for i in range(8)}
+        assert len(shards) == 1, f"{home} split across {shards}"
+
+
+def test_router_hash_mode_scatters_and_balances():
+    router = Router(4, mode="hash")
+    paths = [f"/srv/c{c:03d}/f{i}" for c in range(64) for i in range(8)]
+    counts = router.spread(paths)
+    assert all(count > 0 for count in counts)
+    # Consistent hashing with 64 vnodes/shard: no shard owns more than
+    # half of 512 well-mixed keys.
+    assert max(counts) < len(paths) // 2
+    # And one directory's files really do scatter.
+    assert len({router.shard_for(f"/srv/c000/f{i}") for i in range(8)}) > 1
+
+
+def test_router_rejects_bad_config():
+    with pytest.raises(ValueError):
+        Router(0)
+    with pytest.raises(ValueError):
+        Router(2, vnodes=0)
+    with pytest.raises(ValueError):
+        Router(2, mode="range")
+
+
+# -- basic service behaviour ------------------------------------------
+
+
+def test_cluster_serves_load_with_zero_failures():
+    with ClusterService(ClusterConfig(shards=2, router_mode="dir")) as cluster:
+        clients = [LoadClient(c, seed=11, spec=LIGHT) for c in range(6)]
+        report = run_cluster_load(cluster, clients)
+        assert report.failed == 0
+        assert report.acked > 0
+        audits = cluster.audits()
+        assert all(audit["ok"] for audit in audits)
+        assert cluster.audit_intents()["ok"]
+
+
+def test_cluster_matches_single_service_ack_count():
+    """Sharding changes placement, never outcomes: the same seeded load
+    acks the same number of operations as on one shard."""
+    counts = []
+    for shards in (1, 3):
+        with ClusterService(
+            ClusterConfig(shards=shards, router_mode="hash")
+        ) as cluster:
+            clients = [LoadClient(c, seed=5, spec=LIGHT) for c in range(4)]
+            counts.append(run_cluster_load(cluster, clients).acked)
+    assert counts[0] == counts[1], counts
+
+
+def test_readdir_fans_out_and_merges_sorted_union():
+    cluster = ClusterService(ClusterConfig(shards=3, router_mode="hash"))
+    with cluster:
+        reqs = [
+            Request(client_id=0, req_id=1, op="open", path="alpha", create=True),
+            Request(client_id=0, req_id=2, op="open", path="beta", create=True),
+            Request(client_id=0, req_id=3, op="open", path="gamma", create=True),
+        ]
+        responses = _drive(cluster, [0], reqs)
+        for r in range(1, 4):
+            assert responses[(0, r)].ok
+        # The three files scatter in hash mode; readdir must still see
+        # one coherent, sorted directory.
+        spread = {
+            cluster.router.shard_for(f"/srv/c000/{n}")
+            for n in ("alpha", "beta", "gamma")
+        }
+        assert len(spread) > 1
+        listing = _drive(
+            cluster, [0], [Request(client_id=0, req_id=9, op="readdir", path=".")]
+        )[(0, 9)]
+        assert listing.ok
+        assert listing.value == ["alpha", "beta", "gamma"]
+
+
+# -- determinism -------------------------------------------------------
+
+
+def _campaign(jobs=1, fast_path=None, crashes=0):
+    return run_cluster_campaign(
+        ClusterTrafficConfig(
+            shards=2,
+            clients=6,
+            crashes_per_shard=crashes,
+            seed=11,
+            router_mode="hash",
+            jobs=jobs,
+            load=LIGHT,
+            fast_path=fast_path,
+        )
+    )
+
+
+def test_digest_identical_across_jobs():
+    inline = _campaign(jobs=1, crashes=1)
+    processes = _campaign(jobs=2, crashes=1)
+    assert inline.cluster_digest == processes.cluster_digest
+    assert inline.to_json_dict()["acked"] == processes.to_json_dict()["acked"]
+    assert inline.ok and processes.ok
+
+
+def test_digest_identical_across_engines():
+    reference = _campaign(fast_path=False, crashes=1)
+    hot = _campaign(fast_path=True, crashes=1)
+    assert reference.cluster_digest == hot.cluster_digest
+    assert reference.ok and hot.ok
+
+
+# -- crash transparency ------------------------------------------------
+
+
+def test_rolling_storm_loses_nothing_and_acks_match_calm():
+    calm = _campaign(crashes=0)
+    storm = _campaign(crashes=2)
+    assert storm.ok, storm.to_json_dict()
+    assert storm.lost_acks == 0
+    assert storm.recoveries >= 2
+    assert storm.load.acked == calm.load.acked
+    # Crash transparency means the acknowledged history is identical —
+    # digest and all — not merely the same size.
+    assert storm.cluster_digest == calm.cluster_digest
+
+
+def test_rolling_crash_points_stagger_one_shard_at_a_time():
+    config = ClusterTrafficConfig(
+        shards=4, clients=32, crashes_per_shard=2, load=LIGHT
+    )
+    points = rolling_crash_points(config)
+    assert set(points) == {0, 1, 2, 3}
+    # Interleaved: sorting every (point, shard) pair by point must
+    # alternate shards, never the same shard twice in a row.
+    flat = sorted(
+        (point, shard) for shard, shard_points in points.items()
+        for point in shard_points
+    )
+    shards_in_order = [shard for _, shard in flat]
+    assert shards_in_order == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+# -- cross-shard rename ------------------------------------------------
+
+
+def _cross_shard_pair(cluster, client_id=0):
+    """Find two names in the client's home that route to different
+    shards under the hash router."""
+    home = f"/srv/c{client_id:03d}"
+    src = f"{home}/src"
+    src_shard = cluster.router.shard_for(src)
+    for n in range(1000):
+        dst = f"{home}/dst{n}"
+        if cluster.router.shard_for(dst) != src_shard:
+            return "src", f"dst{n}", src_shard, cluster.router.shard_for(dst)
+    raise AssertionError("no cross-shard pair found in 1000 candidates")
+
+
+def test_cross_shard_rename_moves_bytes_and_settles_intent():
+    cluster = ClusterService(ClusterConfig(shards=2, router_mode="hash"))
+    with cluster:
+        cluster.open_session(0)
+        src, dst, _, _ = _cross_shard_pair(cluster)
+        payload = b"rio pages survive the warm reboot" * 100
+        responses = _drive(
+            cluster,
+            [0],
+            [
+                Request(client_id=0, req_id=1, op="open", path=src, create=True),
+            ],
+        )
+        fd = responses[(0, 1)].value
+        responses = _drive(
+            cluster,
+            [0],
+            [
+                Request(client_id=0, req_id=2, op="write", fd=fd, offset=0,
+                        data=payload),
+                Request(client_id=0, req_id=3, op="close", fd=fd),
+                Request(client_id=0, req_id=4, op="rename", path=src,
+                        new_path=dst),
+                Request(client_id=0, req_id=5, op="stat", path=src),
+                Request(client_id=0, req_id=6, op="stat", path=dst),
+                Request(client_id=0, req_id=7, op="open", path=dst),
+            ],
+        )
+        assert responses[(0, 4)].ok, responses[(0, 4)]
+        assert responses[(0, 5)].value == {"exists": False}
+        assert responses[(0, 6)].value["size"] == len(payload)
+        new_fd = responses[(0, 7)].value
+        got = _drive(
+            cluster,
+            [0],
+            [
+                Request(client_id=0, req_id=8, op="read", fd=new_fd, offset=0,
+                        length=len(payload)),
+            ],
+        )[(0, 8)]
+        assert got.value == payload
+        assert cluster.stats.cross_renames == 1
+        assert [i.state for i in cluster.intents.records] == ["done"]
+        assert cluster.audit_intents()["ok"]
+        assert all(audit["ok"] for audit in cluster.audits())
+
+
+def test_cross_shard_rename_stales_open_descriptors():
+    cluster = ClusterService(ClusterConfig(shards=2, router_mode="hash"))
+    with cluster:
+        cluster.open_session(0)
+        src, dst, _, _ = _cross_shard_pair(cluster)
+        responses = _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=1, op="open", path=src, create=True)],
+        )
+        fd = responses[(0, 1)].value
+        _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=2, op="rename", path=src, new_path=dst)],
+        )
+        # The bytes moved to another kernel; the old descriptor cannot
+        # follow (documented: like an NFS handle after a migration).
+        stale = _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=3, op="write", fd=fd, offset=0,
+                     data=b"x")],
+        )[(0, 3)]
+        assert not stale.ok
+        assert stale.error == "EBADSESSION"
+
+
+def test_cross_shard_rename_survives_crash_in_two_phase_window():
+    """A source-shard kernel crash between copy and unlink: the shard
+    recovers in line, the unlink re-executes, the intent settles."""
+    cluster = ClusterService(ClusterConfig(shards=2, router_mode="hash"))
+    with cluster:
+        cluster.open_session(0)
+        src, dst, src_shard, _ = _cross_shard_pair(cluster)
+        fired = []
+
+        def crash_in_window(phase, intent):
+            if phase == "pre-unlink" and not fired:
+                fired.append(intent)
+                cluster.hosts[src_shard].shard.system.machine.crash(
+                    "test: crash inside the rename window", kind="forced"
+                )
+
+        cluster.rename_hook = crash_in_window
+        responses = _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=1, op="open", path=src, create=True)],
+        )
+        fd = responses[(0, 1)].value
+        responses = _drive(
+            cluster, [0],
+            [
+                Request(client_id=0, req_id=2, op="write", fd=fd, offset=0,
+                        data=b"crossing kernels"),
+                Request(client_id=0, req_id=3, op="close", fd=fd),
+                Request(client_id=0, req_id=4, op="rename", path=src,
+                        new_path=dst),
+                Request(client_id=0, req_id=5, op="stat", path=src),
+                Request(client_id=0, req_id=6, op="stat", path=dst),
+            ],
+        )
+        assert fired, "crash hook never fired"
+        assert responses[(0, 4)].ok
+        assert responses[(0, 5)].value == {"exists": False}
+        assert responses[(0, 6)].value["size"] == len(b"crossing kernels")
+        assert [i.state for i in cluster.intents.records] == ["done"]
+        snaps = cluster.snapshots()
+        assert snaps[src_shard]["recoveries"] == 1
+        assert sum(s["lost_acks"] for s in snaps) == 0
+        assert cluster.audit_intents()["ok"]
+
+
+def test_intent_audit_rolls_forward_interrupted_rename():
+    """The front-end dies after the copy but before the unlink: the
+    intent is stuck at "copied" and the audit finishes the job."""
+    cluster = ClusterService(ClusterConfig(shards=2, router_mode="hash"))
+    with cluster:
+        cluster.open_session(0)
+        src, dst, _, _ = _cross_shard_pair(cluster)
+
+        class FrontEndDied(Exception):
+            pass
+
+        def die(phase, intent):
+            if phase == "pre-unlink":
+                raise FrontEndDied
+
+        cluster.rename_hook = die
+        responses = _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=1, op="open", path=src, create=True)],
+        )
+        fd = responses[(0, 1)].value
+        _drive(
+            cluster, [0],
+            [
+                Request(client_id=0, req_id=2, op="write", fd=fd, offset=0,
+                        data=b"halfway"),
+                Request(client_id=0, req_id=3, op="close", fd=fd),
+            ],
+        )
+        cluster.submit(
+            Request(client_id=0, req_id=4, op="rename", path=src, new_path=dst)
+        )
+        with pytest.raises(FrontEndDied):
+            cluster.drain()
+        cluster.rename_hook = None
+        assert [i.state for i in cluster.intents.records] == ["copied"]
+        audit = cluster.audit_intents()
+        assert audit["rolled_forward"] == 1
+        assert audit["ok"], audit
+        # The destination holds the bytes, the source is gone.
+        check = _drive(
+            cluster, [0],
+            [
+                Request(client_id=0, req_id=5, op="stat", path=src),
+                Request(client_id=0, req_id=6, op="stat", path=dst),
+            ],
+        )
+        assert check[(0, 5)].value == {"exists": False}
+        assert check[(0, 6)].value["size"] == len(b"halfway")
+
+
+def test_intent_audit_rolls_back_unstarted_rename():
+    """The front-end dies before the copy: the audit aborts the intent
+    and the source file is untouched."""
+    cluster = ClusterService(ClusterConfig(shards=2, router_mode="hash"))
+    with cluster:
+        cluster.open_session(0)
+        src, dst, _, _ = _cross_shard_pair(cluster)
+
+        class FrontEndDied(Exception):
+            pass
+
+        def die(phase, intent):
+            if phase == "pre-copy":
+                raise FrontEndDied
+
+        cluster.rename_hook = die
+        responses = _drive(
+            cluster, [0],
+            [Request(client_id=0, req_id=1, op="open", path=src, create=True)],
+        )
+        fd = responses[(0, 1)].value
+        _drive(
+            cluster, [0],
+            [
+                Request(client_id=0, req_id=2, op="write", fd=fd, offset=0,
+                        data=b"never moved"),
+                Request(client_id=0, req_id=3, op="close", fd=fd),
+            ],
+        )
+        cluster.submit(
+            Request(client_id=0, req_id=4, op="rename", path=src, new_path=dst)
+        )
+        with pytest.raises(FrontEndDied):
+            cluster.drain()
+        cluster.rename_hook = None
+        audit = cluster.audit_intents()
+        assert audit["rolled_back"] == 1
+        assert audit["ok"], audit
+        check = _drive(
+            cluster, [0],
+            [
+                Request(client_id=0, req_id=5, op="stat", path=src),
+                Request(client_id=0, req_id=6, op="stat", path=dst),
+            ],
+        )
+        assert check[(0, 5)].value["size"] == len(b"never moved")
+        assert check[(0, 6)].value == {"exists": False}
+
+
+# -- observability -----------------------------------------------------
+
+
+def test_flight_recorder_static_tags_merge_into_payloads():
+    recorder = FlightRecorder()
+    recorder.static_tags["shard"] = 3
+    recorder.start()
+    recorder.emit("server", "ack", client=1)
+    recorder.emit("server", "crash-detected")
+    events = recorder.events()
+    assert all(event.payload["shard"] == 3 for event in events)
+    assert events[0].payload["client"] == 1
+    # Explicit payload keys win over static tags.
+    recorder.emit("server", "ack", shard=9)
+    assert recorder.events()[-1].payload["shard"] == 9
+
+
+def test_cluster_events_carry_shard_tags():
+    cluster = ClusterService(
+        ClusterConfig(shards=2, router_mode="dir", trace_events=True)
+    )
+    with cluster:
+        clients = [LoadClient(c, seed=3, spec=LIGHT) for c in range(2)]
+        run_cluster_load(cluster, clients)
+        for shard in range(2):
+            events = cluster._shard_call(shard, "events")
+            assert events, f"shard {shard} recorded nothing"
+            assert all(
+                event["payload"].get("shard") == shard for event in events
+            )

@@ -1,0 +1,225 @@
+"""Scheduler behaviour at cluster scale.
+
+The incremental active-list rewrite of :class:`RequestScheduler` must
+preserve the original semantics — rotating deficit round-robin over
+sorted client ids — while assembling batches in O(batch) instead of
+re-sorting every client queue per call.  These tests pin the semantics
+at populations the original tests never reached (256+ clients), the
+multi-client ``requeue_front`` ordering contract, and the backlog
+accounting across a crash-requeue cycle.
+"""
+
+from repro.server import Backpressure, Request, RequestScheduler
+
+import pytest
+
+
+def _req(client: int, req: int, op: str = "stat") -> Request:
+    return Request(client_id=client, req_id=req, op=op, path="/x")
+
+
+def _drain_schedule(scheduler: RequestScheduler, batch_size: int, quantum: int):
+    """Pull batches until empty; returns the full (client, req) order."""
+    order = []
+    while scheduler.backlog():
+        batch = scheduler.next_batch(batch_size, quantum)
+        assert batch, "backlog positive but batch empty"
+        order.extend((r.client_id, r.req_id) for r in batch)
+    return order
+
+
+def test_fairness_at_256_clients():
+    """Every one of 256 clients is served before anyone is served twice."""
+    scheduler = RequestScheduler(queue_depth=8)
+    clients = 256
+    for client in range(clients):
+        for req in range(3):
+            scheduler.enqueue(_req(client, req))
+    # quantum=1: one request per visit, so one full rotation of the
+    # active list serves each client exactly once.
+    first_rotation = scheduler.next_batch(clients, quantum=1)
+    assert [r.client_id for r in first_rotation] == list(range(clients))
+    assert all(r.req_id == 0 for r in first_rotation)
+    # The second rotation serves everyone's second request — nobody got
+    # ahead, nobody starved.
+    second_rotation = scheduler.next_batch(clients, quantum=1)
+    assert [r.client_id for r in second_rotation] == list(range(clients))
+    assert all(r.req_id == 1 for r in second_rotation)
+
+
+def test_rotation_resumes_after_last_served_at_scale():
+    """The rotation cursor survives partial batches: a batch ending at
+    client k resumes at k+1, wrapping circularly, at 300 clients."""
+    scheduler = RequestScheduler(queue_depth=4)
+    clients = 300
+    for client in range(clients):
+        scheduler.enqueue(_req(client, 0))
+    seen = []
+    # Pull 30 batches of 10 (quantum 1): each batch should be the next
+    # 10 ids in ascending circular order.
+    for _ in range(30):
+        batch = scheduler.next_batch(10, quantum=1)
+        seen.extend(r.client_id for r in batch)
+    assert seen == list(range(clients))
+    # Refill and confirm the cursor wrapped to client 0.
+    for client in range(clients):
+        scheduler.enqueue(_req(client, 1))
+    batch = scheduler.next_batch(5, quantum=1)
+    assert [r.client_id for r in batch] == [0, 1, 2, 3, 4]
+
+
+def test_rotation_skips_idle_clients():
+    """Only clients with queued work are visited; sparse ids rotate in
+    ascending order regardless of gaps."""
+    scheduler = RequestScheduler(queue_depth=4)
+    sparse = [7, 64, 65, 900, 4096]
+    for client in sparse:
+        scheduler.enqueue(_req(client, 0))
+        scheduler.enqueue(_req(client, 1))
+    batch = scheduler.next_batch(len(sparse), quantum=1)
+    assert [r.client_id for r in batch] == sparse
+    batch = scheduler.next_batch(len(sparse), quantum=1)
+    assert [r.client_id for r in batch] == sparse
+
+
+def test_requeue_front_preserves_fifo_across_many_clients():
+    """Requeued requests from several clients keep intra-client FIFO
+    order and go back to the *head* of each queue."""
+    scheduler = RequestScheduler(queue_depth=8)
+    clients = 32
+    for client in range(clients):
+        for req in range(4):
+            scheduler.enqueue(_req(client, req))
+    # Take a big batch (quantum 2): each client contributes reqs 0..1.
+    batch = scheduler.next_batch(clients * 2, quantum=2)
+    assert len(batch) == clients * 2
+    # A crash interrupts the batch after 10 requests: the rest go back.
+    survivors = batch[10:]
+    scheduler.requeue_front(survivors)
+    order = _drain_schedule(scheduler, batch_size=64, quantum=4)
+    # Global delivery order varies with the rotation, but per client the
+    # req_ids must come out strictly ascending — requeue_front restored
+    # the interrupted requests *ahead* of the queued remainder.
+    per_client = {}
+    for client, req in order:
+        per_client.setdefault(client, []).append(req)
+    for client, reqs in per_client.items():
+        assert reqs == sorted(reqs), (client, reqs)
+    # Every request not executed before the crash is delivered exactly once.
+    executed_before = {(r.client_id, r.req_id) for r in batch[:10]}
+    expected = {
+        (client, req) for client in range(clients) for req in range(4)
+    } - executed_before
+    assert set(order) == expected
+    assert len(order) == len(expected)
+
+
+def test_backlog_accounting_across_crash_requeue_cycle():
+    """backlog() is exact through enqueue -> batch -> requeue -> drain."""
+    scheduler = RequestScheduler(queue_depth=16)
+    clients, per_client = 48, 5
+    for client in range(clients):
+        for req in range(per_client):
+            scheduler.enqueue(_req(client, req))
+    total = clients * per_client
+    assert scheduler.backlog() == total
+    batch = scheduler.next_batch(100, quantum=3)
+    assert scheduler.backlog() == total - len(batch)
+    # Crash: 60 of the batch never started; they return to their queues.
+    scheduler.requeue_front(batch[40:])
+    assert scheduler.backlog() == total - 40
+    for client in range(clients):
+        assert scheduler.backlog(client) == per_client - sum(
+            1 for r in batch[:40] if r.client_id == client
+        )
+    drained = _drain_schedule(scheduler, batch_size=128, quantum=4)
+    assert len(drained) == total - 40
+    assert scheduler.backlog() == 0
+    # Draining emptied the rotation: the next batch is empty, and new
+    # work is admitted and scheduled normally afterwards.
+    assert scheduler.next_batch(8) == []
+    scheduler.enqueue(_req(5, 99))
+    assert scheduler.backlog() == 1
+    assert [r.req_id for r in scheduler.next_batch(8)] == [99]
+
+
+def test_backpressure_per_client_at_scale():
+    """Queue depth is per client: filling one client's queue does not
+    steal capacity from 255 others."""
+    scheduler = RequestScheduler(queue_depth=4)
+    for req in range(4):
+        scheduler.enqueue(_req(0, req))
+    with pytest.raises(Backpressure):
+        scheduler.enqueue(_req(0, 4))
+    for client in range(1, 256):
+        scheduler.enqueue(_req(client, 0))  # must not raise
+    assert scheduler.backlog() == 4 + 255
+
+
+def test_incremental_active_list_matches_reference_shuffle():
+    """Differential check: the incremental scheduler's schedule equals a
+    brute-force reference that re-sorts every non-empty queue per batch,
+    across an adversarial interleaving of enqueues and batches."""
+
+    class Reference:
+        def __init__(self):
+            self.queues = {}
+            self.resume_after = -1
+
+        def enqueue(self, request):
+            self.queues.setdefault(request.client_id, []).append(request)
+
+        def next_batch(self, batch_size, quantum):
+            active = sorted(c for c, q in self.queues.items() if q)
+            batch = []
+            if not active:
+                return batch
+            start = 0
+            while start < len(active) and active[start] <= self.resume_after:
+                start += 1
+            order = active[start:] + active[:start]
+            while order and len(batch) < batch_size:
+                progressed = False
+                for cid in list(order):
+                    queue = self.queues[cid]
+                    took = 0
+                    while queue and took < quantum and len(batch) < batch_size:
+                        batch.append(queue.pop(0))
+                        took += 1
+                        progressed = True
+                    self.resume_after = cid
+                    if len(batch) >= batch_size:
+                        return batch
+                order = [c for c in order if self.queues[c]]
+                if not progressed:
+                    break
+            return batch
+
+    scheduler = RequestScheduler(queue_depth=64)
+    reference = Reference()
+    # Deterministic pseudo-random interleaving, no RNG dependency.
+    state = 0x5EED
+    step = 0
+    for round_ in range(200):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        client = state % 97
+        burst = 1 + state % 3
+        for _ in range(burst):
+            request = _req(client, step)
+            step += 1
+            scheduler.enqueue(request)
+            reference.enqueue(request)
+        if round_ % 5 == 4:
+            size = 1 + state % 17
+            got = scheduler.next_batch(size, quantum=2)
+            want = reference.next_batch(size, quantum=2)
+            assert [(r.client_id, r.req_id) for r in got] == [
+                (r.client_id, r.req_id) for r in want
+            ], f"diverged at round {round_}"
+    # Drain both completely.
+    while scheduler.backlog():
+        got = scheduler.next_batch(13, quantum=2)
+        want = reference.next_batch(13, quantum=2)
+        assert [(r.client_id, r.req_id) for r in got] == [
+            (r.client_id, r.req_id) for r in want
+        ]
