@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint docstrings serve-smoke cluster-smoke verify-disk bench bench-full bench-interp bench-server bench-cluster forensics-smoke explore-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke cluster-smoke chaos-smoke verify-disk bench bench-full bench-interp bench-server bench-cluster forensics-smoke explore-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -28,6 +28,13 @@ serve-smoke:
 # and the 64-client perf floor (the cliff stays dead).
 cluster-smoke:
 	$(PY) scripts/cluster_smoke.py
+
+# The chaos capability matrix smoke: a seeded 16-client chaos storm
+# (every fault capability armed, forced crashes on top), zero lost
+# acks, every capability fired, and campaign digests bit-identical
+# across execution engines and worker counts.
+chaos-smoke:
+	$(PY) scripts/chaos_smoke.py
 
 # Independent on-disk-format verification: clean image dissects clean,
 # injected damage is found, the constructed divergent image fires a

@@ -1,0 +1,89 @@
+"""CI smoke for the chaos capability matrix (``make chaos-smoke``).
+
+Three independent gates, each a design claim of the chaos tier:
+
+1. **Zero lost acks under chaos** — a seeded 16-client chaos storm
+   (every capability in the default matrix, two forced crashes per
+   trial on top) loses zero acknowledged operations, and every armed
+   capability actually fired (the hooks are wired, not decorative).
+2. **Cross-engine seed purity** — the same campaign pinned to the
+   reference engine (``fast_path=False``) and the hot engine
+   (``fast_path=True``) produces bit-identical campaign digests.
+3. **Worker-count purity** — the campaign digest at ``jobs=4`` equals
+   the serial digest (chaos trials are pure functions of their
+   payloads).
+
+Exits non-zero on the first failed gate.  Pure stdlib + repro; no
+pytest dependency, so CI can run it as a bare script.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.reliability import (  # noqa: E402
+    ChaosCampaignConfig,
+    run_chaos_campaign,
+)
+
+SEED = 11
+
+
+def gate(name: str, ok: bool, detail: str) -> None:
+    verdict = "ok" if ok else "FAIL"
+    print(f"[chaos-smoke] {name}: {verdict} ({detail})")
+    if not ok:
+        sys.exit(1)
+
+
+def campaign(jobs: int = 1, fast_path=None):
+    return run_chaos_campaign(
+        ChaosCampaignConfig(
+            clients=16,
+            ops_per_client=20,
+            crashes=2,
+            seed=SEED,
+            jobs=jobs,
+            fast_path=fast_path,
+        )
+    )
+
+
+def main() -> None:
+    # Gate 1: the full matrix, zero lost acks, every capability wired.
+    serial = campaign(jobs=1)
+    lost = sum(trial.lost_acks for trial in serial.trials)
+    idle = [
+        trial.trial
+        for trial in serial.trials
+        if trial.trial != "baseline" and trial.chaos_fires == 0
+    ]
+    gate(
+        "zero lost acks under chaos",
+        serial.ok and lost == 0 and not idle,
+        f"trials={len(serial.trials)} fires={serial.total_fires} "
+        f"lost={lost} idle={idle or 'none'}",
+    )
+
+    # Gate 2: cross-engine seed purity.
+    reference = campaign(jobs=4, fast_path=False)
+    hot = campaign(jobs=4, fast_path=True)
+    gate(
+        "cross-engine digest equality",
+        reference.ok and hot.ok and reference.digest == hot.digest,
+        f"ref={reference.digest[:16]} hot={hot.digest[:16]}",
+    )
+
+    # Gate 3: worker-count purity (serial vs jobs=4 on the same engine
+    # defaults as gate 1).
+    fanned = campaign(jobs=4)
+    gate(
+        "jobs-independent digest",
+        fanned.ok and fanned.digest == serial.digest,
+        f"jobs1={serial.digest[:16]} jobs4={fanned.digest[:16]}",
+    )
+    print("[chaos-smoke] all gates passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,12 @@ Commands:
   one worker process per shard (``--jobs``), optionally under a
   *rolling* crash storm (one shard down at a time); exit 1 if any
   acknowledged op was lost.
+* ``chaos``   — the chaos capability matrix: one traffic-under-faults
+  trial per fault capability (allocation denials, queue overflows,
+  disk-full, slow IO, fail-Nth), reporting p99-under-chaos, recovery
+  time and the zero-lost-acks SLO.  ``--jobs N`` fans trials across
+  workers (bit-identical campaign digest at any N); ``--trials``
+  selects a subset of the matrix.  Exit 1 on any SLO violation.
 * ``explore`` — the exhaustive crash-point explorer: enumerate every
   store/flush/shadow-flip boundary in one workload run, crash at each,
   and hold the recovery to the declared crash-consistency spec.
@@ -402,6 +408,57 @@ def cmd_cluster(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    """The chaos capability matrix; exit 1 on any SLO violation."""
+    from repro.reliability import (
+        ChaosCampaignConfig,
+        format_chaos_report,
+        run_chaos_campaign,
+    )
+
+    config = ChaosCampaignConfig(
+        system=args.system,
+        clients=args.clients,
+        crashes=max(0, args.crashes),
+        seed=args.seed,
+        jobs=args.jobs,
+        ops_per_client=args.ops,
+        fast_path=args.fast_path,
+    )
+    if args.trials:
+        wanted = [name.strip() for name in args.trials.split(",")]
+        by_name = dict(config.matrix)
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            known = ", ".join(trial for trial, _ in config.matrix)
+            raise SystemExit(f"unknown trial {unknown[0]!r}; known: {known}")
+        config.matrix = tuple((name, by_name[name]) for name in wanted)
+    print(
+        f"chaos matrix: {len(config.matrix)} trial(s) x {config.clients} "
+        f"clients on {config.system}, {config.jobs} job(s) ...",
+        file=sys.stderr,
+    )
+    result = run_chaos_campaign(config)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "digest": result.digest,
+                    "ok": result.ok,
+                    "trials": [trial.to_json_dict() for trial in result.trials],
+                    "quarantined": result.quarantined,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_chaos_report(result))
+    return 0 if result.ok else 1
+
+
 def cmd_explore(args) -> int:
     """Exhaustive boundary sweep (or one-counterexample replay)."""
     from repro.explore import (
@@ -748,6 +805,46 @@ def main(argv: list[str] | None = None) -> int:
         help="pin the execution engine on every shard (default: machine default)",
     )
     pc.add_argument("--json", action="store_true", help="machine-readable output")
+    pch = sub.add_parser(
+        "chaos",
+        help="chaos capability matrix over the service (exit 1 on SLO violations)",
+    )
+    pch.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    pch.add_argument("--clients", type=int, default=16, help="concurrent clients")
+    pch.add_argument(
+        "--ops", type=int, default=30, help="programs per client (default 30)"
+    )
+    pch.add_argument(
+        "--crashes",
+        type=int,
+        default=2,
+        help="forced crashes per trial (default 2; 0 = no storm)",
+    )
+    pch.add_argument("--seed", type=int, default=1, help="campaign seed")
+    pch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trial fan-out (identical digests at any N)",
+    )
+    pch.add_argument(
+        "--trials",
+        default=None,
+        help="comma-separated subset of the matrix, e.g. baseline,slow_io "
+        "(default: every trial)",
+    )
+    pch.add_argument(
+        "--fast-path",
+        type=lambda v: v not in ("0", "false", "no"),
+        default=None,
+        metavar="0|1",
+        help="pin the execution engine (default: machine default)",
+    )
+    pch.add_argument("--json", action="store_true", help="machine-readable output")
     pe = sub.add_parser(
         "explore",
         help="exhaustive crash-point sweep against the spec (exit 1 on violations)",
@@ -846,6 +943,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "cluster": cmd_cluster,
+        "chaos": cmd_chaos,
         "explore": cmd_explore,
         "dissect": cmd_dissect,
         "dump-disk": cmd_dump_disk,

@@ -82,6 +82,17 @@ class SimulatedDisk:
         self._busy_until_ns = 0
         self._last_sector_end: int | None = None
         self.stats = DiskStats()
+        #: Chaos registry (``slow_io`` capability); installed by
+        #: :meth:`System.install_chaos`, surviving machine resets because
+        #: the disk object itself persists across warm reboots.
+        self.chaos = None
+
+    def _service_ns(self, nbytes: int, *, sequential: bool) -> int:
+        """Model service time, stretched by ``slow_io`` chaos if armed."""
+        service = self.params.service_ns(nbytes, sequential=sequential)
+        if self.chaos is not None:
+            service = self.chaos.io_service_ns(service)
+        return service
 
     # -- attachment --------------------------------------------------------
 
@@ -136,7 +147,7 @@ class SimulatedDisk:
         self._check_range(sector, count)
         clock = self._require_clock()
         start = max(clock.now_ns, self._busy_until_ns)
-        service = self.params.service_ns(
+        service = self._service_ns(
             count * self.sector_size, sequential=self._sequential_with(sector)
         )
         completion = start + service
@@ -163,7 +174,7 @@ class SimulatedDisk:
         self._check_range(sector, count)
         clock = self._require_clock()
         start = max(clock.now_ns, self._busy_until_ns)
-        service = self.params.service_ns(
+        service = self._service_ns(
             count * self.sector_size, sequential=self._sequential_with(sector)
         )
         completion = start + service

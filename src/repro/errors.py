@@ -117,6 +117,17 @@ class NoSpace(FileSystemError):
     errno_name = "ENOSPC"
 
 
+class OutOfMemory(FileSystemError):
+    """A kernel memory grant (e.g. a buffer-cache page) was denied.
+
+    Only the chaos ``fail_alloc`` capability raises this today; the real
+    allocator blocks or evicts instead.  Raised *before* any state
+    changes, so a denied request leaves the cache untouched.
+    """
+
+    errno_name = "ENOMEM"
+
+
 class InvalidArgument(FileSystemError):
     errno_name = "EINVAL"
 

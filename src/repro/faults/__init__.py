@@ -18,9 +18,34 @@ Three categories, injected at the level where they are mechanistic:
 
 Faults are *armed* by :class:`~repro.faults.injector.FaultInjector`; their
 consequences unfold as the workload executes the corrupted code.
+
+A second, orthogonal fault family lives in
+:mod:`repro.faults.capabilities`: debugfs-style *chaos capabilities*
+(allocation failure, queue overflow, disk-full, slow IO, fail-Nth) with
+probability/interval/times knobs and per-client/session/routine scoping,
+aimed at the service tier rather than kernel text.
 """
 
 from repro.faults.types import FaultType, FAULT_CATEGORIES
 from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.capabilities import (
+    CAPABILITY_NAMES,
+    REQUEST_SCOPED,
+    ChaosCapability,
+    ChaosContext,
+    ChaosRegistry,
+    ChaosScope,
+)
 
-__all__ = ["FaultType", "FAULT_CATEGORIES", "FaultInjector", "InjectionRecord"]
+__all__ = [
+    "FaultType",
+    "FAULT_CATEGORIES",
+    "FaultInjector",
+    "InjectionRecord",
+    "CAPABILITY_NAMES",
+    "REQUEST_SCOPED",
+    "ChaosCapability",
+    "ChaosContext",
+    "ChaosRegistry",
+    "ChaosScope",
+]

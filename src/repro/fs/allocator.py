@@ -17,7 +17,8 @@ BITS_PER_BLOCK = BLOCK_SIZE * 8
 class BlockAllocator:
     """Allocates data blocks for one mounted file system.
 
-    ``fs`` must provide ``sb`` (the superblock), ``read_meta`` and
+    ``fs`` must provide ``sb`` (the superblock), ``kernel`` (for the
+    bitmap lock and the chaos registry), ``read_meta`` and
     ``write_meta``.  A next-fit cursor keeps consecutive allocations
     mostly sequential, which matters for the disk timing model.
     """
@@ -56,26 +57,40 @@ class BlockAllocator:
         self.fs.write_meta(blk, byte_off, bytes([byte]), meta_class="bitmap")
 
     def alloc(self) -> int:
-        """Allocate one data block; next-fit from the cursor."""
+        """Allocate one data block; next-fit from the cursor.
+
+        ``NoSpace`` — genuine or chaos-injected — is raised *outside*
+        the bitmap lock section: an exception unwinding through a held
+        kernel lock leaks it (that is a crash path in this kernel), and
+        running out of blocks is an ordinary error, not a crash.
+        """
+        chaos = getattr(self.fs.kernel, "chaos", None)
+        if chaos is not None and chaos.should_fail("fail_disk_full"):
+            # Denied before the bitmap is touched: the fs looks exactly
+            # as if it had genuinely run out of blocks.
+            raise NoSpace("chaos: file system full")
         sb = self.fs.sb
         span = sb.total_blocks - sb.data_start
-        for step in range(span):
-            candidate = sb.data_start + (self._cursor - sb.data_start + step) % span
-            if not self.is_allocated(candidate):
-                self._set_bit(candidate, True)
-                self._cursor = candidate + 1
-                return candidate
+        with self.fs.kernel.locks.lock("bitmap"):
+            for step in range(span):
+                candidate = sb.data_start + (self._cursor - sb.data_start + step) % span
+                if not self.is_allocated(candidate):
+                    self._set_bit(candidate, True)
+                    self._cursor = candidate + 1
+                    return candidate
         raise NoSpace("file system full")
 
     def free(self, block_no: int) -> None:
         if block_no < self.fs.sb.data_start:
             # Another consistency check: data paths never free metadata.
             raise KernelPanic(f"bfree: freeing metadata block {block_no}")
-        if not self.is_allocated(block_no):
-            # Freeing a free block means the bitmap or the caller's block
-            # pointers are corrupt — a classic kernel consistency check.
-            raise KernelPanic(f"bfree: block {block_no} already free")
-        self._set_bit(block_no, False)
+        with self.fs.kernel.locks.lock("bitmap"):
+            if not self.is_allocated(block_no):
+                # Freeing a free block means the bitmap or the caller's
+                # block pointers are corrupt — a classic kernel
+                # consistency check.
+                raise KernelPanic(f"bfree: block {block_no} already free")
+            self._set_bit(block_no, False)
 
     def count_free(self) -> int:
         sb = self.fs.sb

@@ -24,7 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import ConfigurationError, KernelPanic, NoSpace
+from repro.errors import ConfigurationError, KernelPanic, NoSpace, OutOfMemory
 from repro.fs.types import BLOCK_SIZE, FileId, SECTORS_PER_BLOCK
 from repro.hw.bus import AccessContext
 from repro.util.checksum import fletcher32
@@ -150,6 +150,18 @@ class PageCache:
             self.stat_hits += 1
             return page
         self.stat_misses += 1
+        chaos = getattr(self.kernel, "chaos", None)
+        if (
+            chaos is not None
+            and not self.kernel.locks.any_held()
+            and chaos.should_fail("fail_alloc")
+        ):
+            # Denied before any state changes: no frame, no header, no
+            # cache entry — the request fails cleanly with ENOMEM.  Only
+            # outside lock sections: an exception unwinding through a
+            # held kernel lock leaks it (a crash path), and a critical
+            # section's page grant comes from a reserved pool anyway.
+            raise OutOfMemory("chaos: page grant denied")
         self._make_room()
         kernel = self.kernel
         pfn = kernel.frames.alloc()

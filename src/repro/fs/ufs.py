@@ -20,6 +20,7 @@ orphans/leaks a badly-timed crash leaves behind.
 from __future__ import annotations
 
 import functools
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -344,14 +345,12 @@ class UFS:
     # ------------------------------------------------------------------
 
     def balloc(self) -> int:
-        """Allocate a data block under the bitmap lock."""
-        with self.kernel.locks.lock("bitmap"):
-            return self.allocator.alloc()
+        """Allocate a data block (the allocator takes the bitmap lock)."""
+        return self.allocator.alloc()
 
     def bfree(self, block_no: int) -> None:
-        """Free a data block under the bitmap lock."""
-        with self.kernel.locks.lock("bitmap"):
-            self.allocator.free(block_no)
+        """Free a data block (the allocator takes the bitmap lock)."""
+        self.allocator.free(block_no)
 
     def bmap(self, inode: Inode, file_block: int, *, allocate: bool = False) -> int:
         """Map a file block index to a disk block (0 = hole).
@@ -760,26 +759,70 @@ class UFS:
         ubc = self.kernel.ubc
         pos = 0
         allocated = False
-        while pos < len(data):
-            cursor = offset + pos
-            file_block, in_off = divmod(cursor, BLOCK_SIZE)
-            take = min(BLOCK_SIZE - in_off, len(data) - pos)
-            pre_block = self.bmap(inode, file_block)
-            disk_block = self.bmap(inode, file_block, allocate=True)
-            if disk_block != pre_block:
-                allocated = True
-            page = self._ubc_page(inode, file_block, pre_block)
-            if page.disk_block != disk_block:
-                ubc.set_placement(page, disk_block=disk_block)
-            ubc.write_into(page, in_off, data[pos : pos + take], IO_CONTEXT)
-            self.policy.on_data_write(self, ino, page, cursor, take)
-            pos += take
+        try:
+            while pos < len(data):
+                cursor = offset + pos
+                file_block, in_off = divmod(cursor, BLOCK_SIZE)
+                take = min(BLOCK_SIZE - in_off, len(data) - pos)
+                pre_block = self.bmap(inode, file_block)
+                disk_block = pre_block
+                disk_block = self.bmap(inode, file_block, allocate=True)
+                if disk_block != pre_block:
+                    allocated = True
+                page = self._ubc_page(inode, file_block, pre_block)
+                if page.disk_block != disk_block:
+                    ubc.set_placement(page, disk_block=disk_block)
+                ubc.write_into(page, in_off, data[pos : pos + take], IO_CONTEXT)
+                self.policy.on_data_write(self, ino, page, cursor, take)
+                pos += take
+        except FileSystemError:
+            # A mid-write error (allocation refused: no space, no page
+            # frame) must leave a well-defined *partial* write, not
+            # debris.  Every failure point sits before the failing
+            # chunk's bytes land, so: revert that chunk's fresh block
+            # (its pointer may already be on disk via the indirect
+            # block, and a freed-then-reused block holds stale bytes
+            # that a later size-extending write would resurrect —
+            # bytes the acknowledgement audit never saw), then commit
+            # the fully-written prefix so it is visible, exactly what
+            # POSIX reports as a short write.  Crashes are not caught:
+            # their debris is the point, and fsck owns it.
+            self._revert_block_alloc(inode, file_block, pre_block, disk_block)
+            if pos:
+                inode.size = max(inode.size, offset + pos)
+                inode.mtime_ns = self.kernel.clock.now_ns
+                self.write_inode(inode, defer=not allocated)
+            raise
         inode.size = max(inode.size, offset + len(data))
         inode.mtime_ns = self.kernel.clock.now_ns
         # A size/mtime-only update is not a structural change: it reaches
         # disk lazily.  Allocations must follow the policy's ordering.
         self.write_inode(inode, defer=not allocated)
         return len(data)
+
+    def _revert_block_alloc(
+        self, inode: Inode, file_block: int, pre_block: int, disk_block: int
+    ) -> None:
+        """Undo one :meth:`bmap` allocation a failed write cannot use.
+
+        Restores the block pointer to ``pre_block`` and frees the fresh
+        block.  Runs with fault injection calmed: error-path cleanup is
+        kernel housekeeping, not a request to deny.
+        """
+        if disk_block == pre_block:
+            return
+        chaos = getattr(self.kernel, "chaos", None)
+        with chaos.calm() if chaos is not None else nullcontext():
+            if file_block < N_DIRECT:
+                inode.direct[file_block] = pre_block
+            else:
+                self.write_meta(
+                    inode.indirect,
+                    (file_block - N_DIRECT) * 4,
+                    pre_block.to_bytes(4, "little"),
+                    meta_class="indirect",
+                )
+            self.bfree(disk_block)
 
     def read(self, ino: int, offset: int, length: int) -> bytes:
         """Read file bytes via the UBC (holes read as zeros)."""

@@ -89,3 +89,14 @@ class LockManager:
 
     def any_racing(self) -> bool:
         return any(lock.elided for lock in self._locks.values())
+
+    def any_held(self) -> bool:
+        """True while any named lock is held.
+
+        Chaos hooks consult this: an injected error unwinding through a
+        held lock leaks it (exception unwinds model crash paths here),
+        so fault capabilities decline to fire inside lock sections —
+        like a kernel serving critical-section allocations from a
+        reserved pool.
+        """
+        return any(lock.held for lock in self._locks.values())

@@ -47,8 +47,17 @@ from repro.reliability.traffic import (
     format_cluster_report,
     format_traffic_report,
     rolling_crash_points,
+    run_chaos_campaign,
     run_cluster_campaign,
     run_traffic_campaign,
+)
+from repro.reliability.chaos import (
+    DEFAULT_MATRIX,
+    ChaosCampaignConfig,
+    ChaosCampaignResult,
+    ChaosSpec,
+    ChaosTrialResult,
+    format_chaos_report,
 )
 from repro.reliability.propagation import (
     PropagationSummary,
@@ -83,8 +92,15 @@ __all__ = [
     "format_cluster_report",
     "format_traffic_report",
     "rolling_crash_points",
+    "run_chaos_campaign",
     "run_cluster_campaign",
     "run_traffic_campaign",
+    "DEFAULT_MATRIX",
+    "ChaosCampaignConfig",
+    "ChaosCampaignResult",
+    "ChaosSpec",
+    "ChaosTrialResult",
+    "format_chaos_report",
     "PropagationSummary",
     "format_propagation",
     "summarize_propagation",

@@ -73,6 +73,10 @@ class TrafficConfig:
     repair: bool = False
     #: Pin the execution engine (None keeps the machine default).
     fast_path: Optional[bool] = None
+    #: Chaos capability specs to arm — a tuple of JSON-safe dicts whose
+    #: keys match :meth:`ChaosRegistry.enable` (``name`` plus knobs and
+    #: scope fields).  Empty means no chaos.
+    chaos: tuple = ()
 
 
 @dataclass
@@ -90,6 +94,12 @@ class TrafficResult:
     rebind_failures: int = 0
     transparent_retries: int = 0
     final_audit_ok: bool = False
+    #: Virtual time spent in recovery (reboot + audit), summed.
+    recovery_ns: int = 0
+    #: Total chaos capability fires, and the per-capability snapshot
+    #: (:meth:`ChaosRegistry.snapshot`) when chaos was armed.
+    chaos_fires: int = 0
+    chaos_snapshot: list = field(default_factory=list)
     load: Optional[LoadReport] = None
     #: Independent-verifier second opinions: one dissect scan after each
     #: storm recovery (post-fsck) plus one of the final flushed image.
@@ -132,6 +142,9 @@ class TrafficResult:
             "rebinds": self.rebinds,
             "rebind_failures": self.rebind_failures,
             "transparent_retries": self.transparent_retries,
+            "recovery_ns": self.recovery_ns,
+            "chaos_fires": self.chaos_fires,
+            "chaos_snapshot": list(self.chaos_snapshot),
             "acked": self.load.acked if self.load else 0,
             "failed": self.load.failed if self.load else 0,
             "rejected": self.load.rejected if self.load else 0,
@@ -215,6 +228,13 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     if config.fast_path is not None:
         spec = replace(spec, machine=replace(spec.machine, fast_path=config.fast_path))
     system = build_system(spec)
+    if config.chaos:
+        from repro.faults.capabilities import ChaosRegistry
+
+        registry = ChaosRegistry(seed=config.seed)
+        for cap in config.chaos:
+            registry.enable(**dict(cap))
+        system.install_chaos(registry)
     service_config = replace(config.service, repair_on_recover=config.repair)
     service = FileService(system, service_config)
     storm = _CrashStorm(system, config)
@@ -253,6 +273,10 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     result.lost_acks = service.stats.lost_acks
     result.repaired_acks = service.stats.repaired_acks
     result.transparent_retries = service.stats.transparent_retries
+    result.recovery_ns = service.stats.recovery_ns
+    if system.chaos is not None:
+        result.chaos_snapshot = system.chaos.snapshot()
+        result.chaos_fires = sum(cap["fires"] for cap in result.chaos_snapshot)
     for session in service.sessions.sessions.values():
         result.rebinds += session.rebinds
         result.rebind_failures += session.rebind_failures
@@ -294,6 +318,11 @@ def format_traffic_report(result: TrafficResult) -> str:
             f"  faults          {result.faults_injected} injected "
             f"({config.fault_type.value}), watchdog fired {result.watchdog_fired}"
         )
+    if result.config.chaos:
+        armed = ",".join(sorted({cap["name"] for cap in result.config.chaos}))
+        lines.append(
+            f"  chaos           {armed}: {result.chaos_fires} fires"
+        )
     lines += [
         f"  acked           {load.acked} "
         f"(failed {load.failed}, rejected {load.rejected}, retried {load.retried})",
@@ -315,6 +344,44 @@ def format_traffic_report(result: TrafficResult) -> str:
     for detail in result.divergence_details[:5]:
         lines.append(f"  divergence      {detail}")
     return "\n".join(lines)
+
+
+def run_chaos_campaign(config) -> "object":
+    """Run a chaos capability matrix: one traffic trial per armed set.
+
+    ``config`` is a :class:`~repro.reliability.chaos.ChaosCampaignConfig`;
+    each ``(trial, specs)`` row of its matrix becomes one seeded
+    traffic-under-faults run with those capabilities armed, fanned out
+    through :class:`~repro.reliability.engine.ParallelMap`.  Trials are
+    pure functions of their payloads, so the campaign digest is
+    bit-identical at any ``jobs`` count and on either execution engine.
+    Returns a :class:`~repro.reliability.chaos.ChaosCampaignResult`.
+    """
+    from repro.reliability.chaos import (
+        ChaosCampaignResult,
+        ChaosTrialResult,
+        trial_payload,
+    )
+    from repro.reliability.engine import ParallelMap
+
+    pmap = ParallelMap(
+        "repro.reliability.chaos:_chaos_trial_entry", jobs=config.jobs
+    )
+    tasks = [
+        (trial, trial_payload(config, trial, specs))
+        for trial, specs in config.matrix
+    ]
+    raw = pmap.run(tasks)
+    result = ChaosCampaignResult(config=config)
+    for trial, _specs in config.matrix:
+        summary = raw.get(trial)
+        if summary is None:
+            # A worker died on this trial (quarantined by the engine).
+            result.quarantined.append(trial)
+            continue
+        result.trials.append(ChaosTrialResult.from_json_dict(summary))
+    result.digest = result.compute_digest()
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -428,10 +495,21 @@ def rolling_crash_points(config: ClusterTrafficConfig) -> Dict[int, Tuple[int, .
     total = config.shards * config.crashes_per_shard
     points: Dict[int, Tuple[int, ...]] = {}
     for shard in range(config.shards):
-        shard_points = []
+        shard_points: List[int] = []
         for crash in range(config.crashes_per_shard):
             fraction = (crash * config.shards + shard + 1) / (total + 1)
-            shard_points.append(max(1, int(per_shard * fraction)))
+            candidate = max(1, int(per_shard * fraction))
+            if shard_points and candidate <= shard_points[-1]:
+                # Short axis: successive fractions truncate to the same
+                # executed count, which would collapse distinct crashes
+                # into one point.  Bump monotonically so every configured
+                # crash keeps its own firing point.
+                candidate = shard_points[-1] + 1
+            shard_points.append(candidate)
+        assert len(set(shard_points)) == config.crashes_per_shard, (
+            f"shard {shard}: {len(set(shard_points))} distinct crash points "
+            f"for {config.crashes_per_shard} configured crashes"
+        )
         points[shard] = tuple(shard_points)
     return points
 

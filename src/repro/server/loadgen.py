@@ -26,6 +26,19 @@ from repro.server.service import FileService
 from repro.util.prng import DeterministicRandom, pattern_bytes
 
 
+#: Ops that change the namespace or a descriptor binding.  A client
+#: submits these *exclusively*: the pipeline drains first, and nothing
+#: else goes out while one is in flight.  Data ops (positional reads,
+#: writes, fsyncs) commute, so pipelining them is safe — but a retried
+#: namespace op must never leapfrog a dependent request.  Without the
+#: barrier, a retryable failure (backpressure, an injected fault) of
+#: ``rename f1 -> r1`` lets the already-pipelined ``open r1 create``
+#: execute first; the retried rename then replaces the fresh file while
+#: the client keeps writing through its fd — acknowledged writes land
+#: in a dead inode and the run's zero-lost-acks audit rightly fails.
+NAMESPACE_OPS = frozenset({"open", "close", "unlink", "rename", "mkdir", "rmdir"})
+
+
 def percentile(values: List[int], fraction: float) -> int:
     """Nearest-rank percentile of ``values`` (0 for an empty list)."""
     if not values:
@@ -178,6 +191,15 @@ class LoadClient:
         while not self._planned:
             if not self._plan_program():
                 return None
+        head = self._planned[0]
+        if self._outstanding and (
+            head.op in NAMESPACE_OPS
+            or any(r.op in NAMESPACE_OPS for r in self._outstanding.values())
+        ):
+            # Namespace ops run exclusively (see NAMESPACE_OPS): wait
+            # for the pipeline to drain before one, and for the op to
+            # resolve before anything behind it.
+            return None
         request = self._planned.pop(0)
         self._outstanding[request.req_id] = request
         return request
@@ -199,7 +221,15 @@ class LoadClient:
                 self.stats.rejected += 1
             else:
                 self.stats.retried += 1
-            self._planned.insert(0, request)
+            if response.error == "EQUOTA":
+                # Quota relief needs another request (a close) to execute
+                # first; retrying at the head would spin ahead of — and
+                # starve — the very close that frees the descriptor.
+                # Requeue at the back instead: the op is retried, never
+                # dropped, after the rest of the plan has had its turn.
+                self._planned.append(request)
+            else:
+                self._planned.insert(0, request)
             return
         # Non-retryable: record, and self-heal the common cases.
         self.stats.failed += 1

@@ -77,6 +77,19 @@ class ServiceDown(ServerError):
     code = "EDOWN"
 
 
+class ChaosInjected(ServerError):
+    """A chaos ``fail_nth_syscall`` capability denied the request.
+
+    The request did not execute and nothing about it is durable; the
+    client resubmits exactly as for :class:`Backpressure`.  (The
+    capability's fail-Nth counter has already advanced, so the retry is
+    not re-denied unless the knobs say so.)
+    """
+
+    retryable = True
+    code = "ECHAOS"
+
+
 class SessionError(ServerError):
     """The session or client fd is unknown or no longer valid."""
 

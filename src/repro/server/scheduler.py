@@ -35,6 +35,9 @@ class RequestScheduler:
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
         self.queue_depth = queue_depth
+        #: Chaos registry (``fail_queue`` capability); set by the file
+        #: service when one is installed.
+        self.chaos = None
         self._queues: Dict[int, Deque[Request]] = {}
         #: Sorted ids of clients with a non-empty queue.  Invariant:
         #: ``cid in _active`` iff ``_queues[cid]`` is non-empty, so every
@@ -52,6 +55,15 @@ class RequestScheduler:
             raise Backpressure(
                 f"client {request.client_id}: queue depth {self.queue_depth} reached"
             )
+        if self.chaos is not None and self.chaos.should_fail(
+            "fail_queue", client=request.client_id, routine=request.op
+        ):
+            # Forced Backpressure: the queue pretends to be full.  Raised
+            # before any queue/_active mutation, so a denied admission
+            # leaves the scheduler exactly as it was.
+            raise Backpressure(
+                f"client {request.client_id}: chaos fail_queue"
+            )
         if not queue:
             insort(self._active, request.client_id)
         queue.append(request)
@@ -62,12 +74,20 @@ class RequestScheduler:
         Used when a crash interrupts a batch: requests scheduled but not
         yet executed keep their place in line (and their admission
         timestamps, so their latency honestly includes the recovery).
+
+        Requeue is exempt from admission control and from chaos: these
+        requests were already admitted once, and bouncing them here would
+        silently drop in-flight work (losing acked-op accounting), so the
+        queue may transiently exceed ``queue_depth``.  Each id enters
+        ``_active`` only after its request is actually back in the queue —
+        nothing in this path can leave a phantom active entry.
         """
         for request in reversed(requests):
             queue = self._queues.setdefault(request.client_id, deque())
-            if not queue:
-                insort(self._active, request.client_id)
+            was_empty = not queue
             queue.appendleft(request)
+            if was_empty:
+                insort(self._active, request.client_id)
 
     # -- introspection -------------------------------------------------
 

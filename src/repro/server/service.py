@@ -26,6 +26,7 @@ from repro.errors import (
 )
 from repro.server.journal import AckJournal, AuditReport
 from repro.server.protocol import (
+    ChaosInjected,
     QuotaExceeded,
     Request,
     Response,
@@ -82,18 +83,30 @@ class ServiceStats:
     recoveries: int = 0
     lost_acks: int = 0
     repaired_acks: int = 0
+    #: Virtual time spent inside :meth:`FileService.recover` (reboot +
+    #: audit), summed across all recoveries — the recovery-time SLO the
+    #: chaos campaign reports.
+    recovery_ns: int = 0
     audits: List[AuditReport] = field(default_factory=list)
 
 
 class FileService:
     """A concurrent multi-client file service over one simulated system."""
 
-    def __init__(self, system, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self, system, config: Optional[ServiceConfig] = None, chaos=None
+    ) -> None:
         self.system = system
         self.config = config or ServiceConfig()
         self.sessions = SessionManager()
         self.journal = AckJournal()
         self.scheduler = RequestScheduler(self.config.queue_depth)
+        #: Chaos registry, or ``None``.  The service owns the request
+        #: scope: every executed request is bracketed with its
+        #: client/session/routine identity so capabilities down the
+        #: stack (cache, allocator, disk) can target it.
+        self.chaos = chaos if chaos is not None else getattr(system, "chaos", None)
+        self.scheduler.chaos = self.chaos
         self.stats = ServiceStats()
         #: Optional hook called with the running executed-request count
         #: immediately before each request runs; crash storms use it to
@@ -331,12 +344,14 @@ class FileService:
         construction.  Returns the audit report; ``report.ok`` is the
         zero-lost-acks guarantee the traffic campaign asserts.
         """
+        recover_start_ns = self._now
         self.system.reboot()  # reboot hooks re-bind the sessions
         audit = self.journal.audit(
             self.system.vfs,
             repair=self.config.repair_on_recover,
             inflight=inflight,
         )
+        self.stats.recovery_ns += self._now - recover_start_ns
         self.stats.recoveries += 1
         self.stats.lost_acks += len(audit.lost)
         self.stats.repaired_acks += audit.repaired
@@ -424,8 +439,41 @@ class FileService:
         crashes propagate to :meth:`pump`.  ``journal=False`` skips the
         write-path journal append (the ``ack_before_execute`` planted
         bug already recorded the promise before calling here).
+
+        When a chaos registry is installed, execution runs inside a
+        request scope carrying the client id, session sequence number
+        and op name, and the ``fail_nth_syscall`` capability is
+        evaluated here — *before* dispatch — so a denied request fails
+        retryably without touching any state.  A deep chaos denial
+        (page grant or block allocation refused mid-op) can leave a
+        *partially applied* unacknowledged mutation; that partial state
+        is outside the promise, so the journal model adopts the request's
+        actual effect — exactly the crash-in-flight reconciliation —
+        before the failure is surfaced.
         """
         session = self.sessions.get(request.client_id)
+        if self.chaos is None:
+            return self._dispatch(request, session, journal=journal)
+        with self.chaos.request_scope(
+            client=request.client_id,
+            session=session.session_seq,
+            routine=request.op,
+        ):
+            if self.chaos.should_fail("fail_nth_syscall"):
+                raise ChaosInjected(
+                    f"client {request.client_id}: chaos fail_nth_syscall"
+                )
+            try:
+                return self._dispatch(request, session, journal=journal)
+            except FileSystemError:
+                with self.chaos.calm():
+                    self.journal.reconcile_inflight(
+                        self.system.vfs, self._describe_inflight(request)
+                    )
+                raise
+
+    def _dispatch(self, request: Request, session: Session, *, journal: bool) -> Any:
+        """The op switch behind :meth:`_execute` (same contract)."""
         vfs = self.system.vfs
         op = request.op
 

@@ -67,6 +67,10 @@ class Session:
     cwd: str = "/"
     fds: Dict[int, FdState] = field(default_factory=dict)
     next_cfd: int = 3
+    #: Monotone session sequence number assigned at open (1, 2, ...),
+    #: surviving warm reboots (the session object persists); chaos
+    #: capabilities scope on it to target one session deterministically.
+    session_seq: int = 0
     #: Total successful rebinds and rebind failures across this
     #: session's lifetime (observability; tested by the traffic suite).
     rebinds: int = 0
@@ -114,12 +118,14 @@ class SessionManager:
 
     def __init__(self) -> None:
         self.sessions: Dict[int, Session] = {}
+        self._next_seq = 1
 
     def open_session(self, client_id: int, cwd: str = "/") -> Session:
         """Create (or return) the session for ``client_id``."""
         if client_id in self.sessions:
             return self.sessions[client_id]
-        session = Session(client_id=client_id, cwd=cwd)
+        session = Session(client_id=client_id, cwd=cwd, session_seq=self._next_seq)
+        self._next_seq += 1
         self.sessions[client_id] = session
         return session
 

@@ -115,6 +115,8 @@ class System:
         #: :meth:`add_reboot_hook`); services layered on the system use
         #: them to reconstruct state the reboot invalidated.
         self._reboot_hooks: list = []
+        #: Chaos capability registry (see :meth:`install_chaos`), or None.
+        self.chaos = None
         self._boot_stack(first=True)
 
     # -- boot ------------------------------------------------------------
@@ -123,6 +125,9 @@ class System:
         """Boot a kernel over the (possibly crash-surviving) machine."""
         spec = self.spec
         self.kernel = Kernel(self.machine, replace(spec.kernel))
+        # Chaos survives warm reboots: the registry lives on the System,
+        # and every freshly booted kernel gets re-pointed at it.
+        self.kernel.chaos = getattr(self, "chaos", None)
         guard = None
         self.phoenix = None
         if spec.phoenix:
@@ -199,6 +204,20 @@ class System:
         for hook in self._reboot_hooks:
             hook(self, report)
         return report
+
+    def install_chaos(self, registry) -> None:
+        """Attach a :class:`~repro.faults.capabilities.ChaosRegistry`.
+
+        Points the kernel (cache/allocator hooks) and every disk
+        (``slow_io``) at the registry; :meth:`_boot_stack` re-attaches
+        the kernel side on every reboot, and the disks persist across
+        reboots, so one installation covers the system's whole lifetime.
+        """
+        self.chaos = registry
+        if self.kernel is not None:
+            self.kernel.chaos = registry
+        for disk in self.machine.disks.values():
+            disk.chaos = registry
 
     def add_reboot_hook(self, hook) -> None:
         """Register ``hook(system, report)`` to run at the end of every

@@ -1,0 +1,369 @@
+"""The chaos capability matrix: registry semantics and seed purity.
+
+Unit tests pin the debugfs-style knob semantics (probability, interval,
+times, fail-Nth, per-client/session/routine scoping) and the
+lock-safety rules; end-to-end tests assert the SLO claims — zero lost
+acks under every capability, and campaign digests that are bit-identical
+across execution engines and worker counts.  The satellite regression
+tests (EQUOTA retry planning, rolling crash-point dedupe, requeue
+invariants) live here too.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ChaosRegistry
+from repro.reliability import (
+    ChaosCampaignConfig,
+    ChaosSpec,
+    ClusterTrafficConfig,
+    TrafficConfig,
+    format_chaos_report,
+    rolling_crash_points,
+    run_chaos_campaign,
+    run_traffic_campaign,
+)
+from repro.server import LoadSpec
+from repro.server.loadgen import LoadClient
+from repro.server.protocol import Backpressure, Request, Response
+from repro.server.scheduler import RequestScheduler
+
+
+# ---------------------------------------------------------------------------
+# Registry unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_times_budget_exhausts():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_queue", times=3)
+    fires = sum(registry.should_fail("fail_queue", client=1) for _ in range(10))
+    assert fires == 3
+    (snap,) = registry.snapshot()
+    assert snap["fires"] == 3
+    assert snap["times_left"] == 0
+
+
+def test_interval_fires_every_nth_call():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_queue", interval=3)
+    pattern = [registry.should_fail("fail_queue", client=1) for _ in range(9)]
+    assert pattern == [False, False, True] * 3
+
+
+def test_probability_is_seed_deterministic():
+    def pattern(seed):
+        registry = ChaosRegistry(seed=seed)
+        registry.enable("fail_queue", probability=40)
+        return tuple(registry.should_fail("fail_queue", client=1) for _ in range(64))
+
+    assert pattern(7) == pattern(7)
+    assert pattern(7) != pattern(8)
+    assert any(pattern(7))  # 40% over 64 draws fires somewhere
+    assert not all(pattern(7))
+
+
+def test_scope_restricts_to_one_client():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_queue", client=1)
+    for _ in range(5):
+        assert not registry.should_fail("fail_queue", client=2)
+    assert registry.should_fail("fail_queue", client=1)
+    (snap,) = registry.snapshot()
+    # Client 2's traffic neither fired nor advanced the counters.
+    assert snap["fires_by_client"] == {"1": 1}
+    assert snap["calls"] == 1
+
+
+def test_routine_scope_and_session_scope():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_nth_syscall", nth=2, routine="write")
+    with registry.request_scope(client=1, session=10, routine="read"):
+        assert not registry.should_fail("fail_nth_syscall")
+    with registry.request_scope(client=1, session=10, routine="write"):
+        assert not registry.should_fail("fail_nth_syscall")  # 1st write
+        assert registry.should_fail("fail_nth_syscall")  # 2nd write
+
+
+def test_request_scoped_capabilities_decline_outside_requests():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_alloc")
+    registry.enable("fail_disk_full")
+    # No ambient request scope: recovery/fsck paths are never denied.
+    assert not registry.should_fail("fail_alloc")
+    assert not registry.should_fail("fail_disk_full")
+    with registry.request_scope(client=0, session=1, routine="write"):
+        assert registry.should_fail("fail_alloc")
+        assert registry.should_fail("fail_disk_full")
+
+
+def test_calm_suppresses_everything_without_counting():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_queue")
+    registry.enable("slow_io", factor=4.0)
+    with registry.calm():
+        assert not registry.should_fail("fail_queue", client=1)
+        assert registry.io_service_ns(1000) == 1000
+    assert all(cap["calls"] == 0 for cap in registry.snapshot())
+    assert registry.should_fail("fail_queue", client=1)
+
+
+def test_slow_io_multiplies_service_time():
+    registry = ChaosRegistry(seed=3)
+    registry.enable("slow_io", factor=4.0)
+    assert registry.io_service_ns(1000) == 4000
+
+
+def test_bad_knobs_are_rejected():
+    registry = ChaosRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.enable("no_such_capability")
+    with pytest.raises(ConfigurationError):
+        registry.enable("fail_queue", probability=101)
+    with pytest.raises(ConfigurationError):
+        registry.enable("fail_queue", interval=0)
+    with pytest.raises(ConfigurationError):
+        registry.enable("fail_queue", times=-2)
+    with pytest.raises(ConfigurationError):
+        registry.enable("slow_io", factor=0)
+
+
+# ---------------------------------------------------------------------------
+# Hook-site and satellite regressions
+# ---------------------------------------------------------------------------
+
+
+def _request(client_id, req_id, op="stat"):
+    return Request(client_id=client_id, req_id=req_id, op=op, path="f")
+
+
+def _scheduler_invariant(scheduler):
+    active = scheduler._active
+    assert active == sorted(active), "active list must stay sorted"
+    assert len(set(active)) == len(active), "no duplicate active entries"
+    for cid, queue in scheduler._queues.items():
+        assert (cid in active) == bool(queue), f"invariant broken for {cid}"
+
+
+def test_fail_queue_forces_backpressure_before_any_mutation():
+    scheduler = RequestScheduler(queue_depth=4)
+    registry = ChaosRegistry(seed=3)
+    registry.enable("fail_queue", client=7)
+    scheduler.chaos = registry
+    with pytest.raises(Backpressure, match="chaos"):
+        scheduler.enqueue(_request(7, 1))
+    _scheduler_invariant(scheduler)
+    assert scheduler.backlog() == 0
+    # Other clients are admitted normally.
+    scheduler.enqueue(_request(8, 1))
+    _scheduler_invariant(scheduler)
+    assert scheduler.backlog(8) == 1
+
+
+def test_requeue_front_keeps_active_invariant_past_queue_depth():
+    scheduler = RequestScheduler(queue_depth=2)
+    for req_id in (1, 2):
+        scheduler.enqueue(_request(5, req_id))
+    batch = scheduler.next_batch(2)
+    assert len(batch) == 2
+    # Refill to capacity behind the batch, then requeue the batch:
+    # the queue transiently exceeds queue_depth, and the invariant
+    # must hold with no phantom/duplicate active entries.
+    for req_id in (3, 4):
+        scheduler.enqueue(_request(5, req_id))
+    scheduler.requeue_front(batch)
+    _scheduler_invariant(scheduler)
+    assert scheduler.backlog(5) == 4
+    drained = scheduler.next_batch(10, quantum=10)
+    assert [r.req_id for r in drained] == [1, 2, 3, 4]
+    _scheduler_invariant(scheduler)
+
+
+def test_requeue_front_onto_empty_queue_registers_active():
+    scheduler = RequestScheduler(queue_depth=2)
+    scheduler.requeue_front([_request(3, 1), _request(3, 2), _request(9, 1)])
+    _scheduler_invariant(scheduler)
+    batch = scheduler.next_batch(10)
+    assert [(r.client_id, r.req_id) for r in batch] == [(3, 1), (3, 2), (9, 1)]
+
+
+def test_equota_retry_goes_to_the_back_of_the_plan():
+    client = LoadClient(client_id=0, seed=1, spec=LoadSpec(ops_per_client=4))
+    request = client.next_request()
+    assert request is not None
+    planned_before = list(client._planned)
+    quota = Response(
+        client_id=0, req_id=request.req_id, op=request.op,
+        ok=False, error="EQUOTA", retryable=True,
+    )
+    client.on_response(quota)
+    # Never dropped: the op is back in the plan, after everything else.
+    assert client._planned[-1] is request
+    assert client._planned[:-1] == planned_before
+    assert client.stats.retried == 1
+    assert not client.done
+
+
+def test_eagain_retry_stays_at_the_front():
+    client = LoadClient(client_id=0, seed=1, spec=LoadSpec(ops_per_client=4))
+    request = client.next_request()
+    busy = Response(
+        client_id=0, req_id=request.req_id, op=request.op,
+        ok=False, error="EAGAIN", retryable=True,
+    )
+    client.on_response(busy)
+    assert client._planned[0] is request
+    assert client.stats.rejected == 1
+
+
+def test_namespace_ops_submit_exclusively():
+    # A retried namespace op must never leapfrog a dependent request:
+    # the client drains its pipeline before a namespace op goes out,
+    # and submits nothing else while one is in flight.  (Without the
+    # barrier, a retryable failure of "rename f1 -> r1" let the
+    # already-pipelined "open r1 create" execute first; the retried
+    # rename then replaced the fresh file while the client kept writing
+    # through its fd — acknowledged writes into a dead inode.)
+    client = LoadClient(client_id=0, seed=1, spec=LoadSpec(ops_per_client=0))
+    client._planned.clear()  # drop the warm-up opens
+    client._pending_opens.clear()
+    write = Request(client_id=0, req_id=90, op="write", fd=3, offset=0, data=b"x")
+    move = Request(client_id=0, req_id=91, op="rename", path="f1", new_path="r1")
+    reopen = Request(client_id=0, req_id=92, op="open", path="r1", create=True)
+    client._planned.extend([write, move, reopen])
+    assert client.next_request() is write
+    # The rename waits for the pipeline to drain...
+    assert client.next_request() is None
+    client.on_response(Response(client_id=0, req_id=90, op="write", ok=True, value=1))
+    assert client.next_request() is move
+    # ...and blocks everything behind it while in flight.
+    assert client.next_request() is None
+    client.on_response(Response(client_id=0, req_id=91, op="rename", ok=True))
+    assert client.next_request() is reopen
+
+
+def test_rolling_crash_points_are_unique_even_on_short_storms():
+    # A storm so short the naive fraction spacing would emit duplicate
+    # (clustered) crash points.
+    config = ClusterTrafficConfig(
+        shards=2,
+        clients=2,
+        crashes_per_shard=4,
+        load=LoadSpec(ops_per_client=2),
+    )
+    points = rolling_crash_points(config)
+    assert set(points) == {0, 1}
+    for shard_points in points.values():
+        assert len(shard_points) == config.crashes_per_shard
+        assert len(set(shard_points)) == config.crashes_per_shard
+        assert list(shard_points) == sorted(shard_points)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: traffic under chaos
+# ---------------------------------------------------------------------------
+
+
+def _small_campaign(**overrides):
+    params = dict(
+        clients=4, ops_per_client=10, crashes=1, seed=7, fs_blocks=2048
+    )
+    params.update(overrides)
+    return ChaosCampaignConfig(**params)
+
+
+def test_matrix_zero_lost_acks_and_every_capability_wired():
+    result = run_chaos_campaign(_small_campaign(seed=11, clients=6, ops_per_client=16))
+    assert result.ok
+    assert [t.trial for t in result.trials] == [
+        "baseline", "fail_alloc", "fail_queue", "fail_disk_full",
+        "slow_io", "fail_nth_syscall",
+    ]
+    by_name = {t.trial: t for t in result.trials}
+    assert by_name["baseline"].chaos_fires == 0
+    for trial in result.trials:
+        assert trial.lost_acks == 0
+        assert trial.crashes_observed == 1
+        assert trial.recovery_ns > 0
+    # slow_io stretches IO but denies nothing, so nothing fails.
+    assert by_name["slow_io"].chaos_fires > 0
+    assert by_name["slow_io"].failed == 0
+    assert by_name["slow_io"].p99_ns >= by_name["baseline"].p99_ns
+    report = format_chaos_report(result)
+    assert "ZERO LOST ACKS UNDER CHAOS" in report
+
+
+def test_campaign_digest_is_jobs_independent():
+    serial = run_chaos_campaign(_small_campaign(jobs=1))
+    fanned = run_chaos_campaign(_small_campaign(jobs=4))
+    assert serial.digest == fanned.digest
+    assert serial.ok and fanned.ok
+
+
+def test_campaign_digest_is_engine_independent():
+    reference = run_chaos_campaign(_small_campaign(fast_path=False))
+    hot = run_chaos_campaign(_small_campaign(fast_path=True))
+    assert reference.digest == hot.digest
+    assert reference.ok
+
+
+def test_chaos_scoped_to_one_client_never_fires_for_another():
+    result = run_traffic_campaign(
+        TrafficConfig(
+            system="rio_prot",
+            clients=4,
+            crashes=1,
+            seed=5,
+            load=LoadSpec(ops_per_client=12),
+            chaos=(ChaosSpec("fail_nth_syscall", nth=3, times=2, client=1).to_json_dict(),),
+        )
+    )
+    assert result.ok and result.lost_acks == 0
+    (snap,) = result.chaos_snapshot
+    assert snap["fires"] > 0
+    assert set(snap["fires_by_client"]) == {"1"}
+
+
+@pytest.mark.parametrize(
+    "seed,spec",
+    [
+        # Seed 5 once reordered a chaos-denied rename past its dependent
+        # open (fixed by the loadgen namespace barrier); seeds 3 and 9
+        # once resurrected a denied write's debris blocks when a later
+        # write extended the file (fixed by UFS partial-write cleanup).
+        (5, ChaosSpec("fail_nth_syscall", nth=9, times=4)),
+        (3, ChaosSpec("fail_alloc", probability=25, interval=7, times=6)),
+        (9, ChaosSpec("fail_alloc", probability=25, interval=7, times=6)),
+        (7, ChaosSpec("fail_disk_full", probability=40, interval=5, times=5)),
+    ],
+)
+def test_adversarial_seeds_lose_no_acks(seed, spec):
+    result = run_traffic_campaign(
+        TrafficConfig(
+            system="rio_prot",
+            clients=8,
+            crashes=1,
+            seed=seed,
+            load=LoadSpec(ops_per_client=12),
+            chaos=(spec.to_json_dict(),),
+        )
+    )
+    assert result.ok
+    assert result.lost_acks == 0
+
+
+def test_times_budget_exhausts_end_to_end():
+    result = run_traffic_campaign(
+        TrafficConfig(
+            system="rio_prot",
+            clients=4,
+            crashes=1,
+            seed=5,
+            load=LoadSpec(ops_per_client=12),
+            chaos=(ChaosSpec("slow_io", times=3).to_json_dict(),),
+        )
+    )
+    assert result.ok
+    (snap,) = result.chaos_snapshot
+    assert snap["fires"] == 3
+    assert snap["times_left"] == 0

@@ -8,6 +8,7 @@ from repro.errors import (
     FileNotFound,
     InvalidArgument,
     IsADirectory,
+    NoSpace,
     NotADirectory,
 )
 from repro.fs.types import BLOCK_SIZE, N_DIRECT
@@ -253,3 +254,49 @@ class TestDurability:
         system.reboot()
         ino = system.fs.namei("/periodic")
         assert system.fs.read(ino, 0, 64) == b"wait for update"
+
+
+class TestPartialWrite:
+    """A mid-write allocation failure is a clean POSIX partial write."""
+
+    def _fill_disk(self, fs, path="/filler"):
+        """Append block-sized writes until the disk is genuinely full."""
+        ino = fs.create(path)
+        offset = 0
+        with pytest.raises(NoSpace):
+            while True:
+                fs.write(ino, offset, b"\xaa" * BLOCK_SIZE)
+                offset += BLOCK_SIZE
+
+    def test_enospc_mid_write_commits_the_prefix(self, fs):
+        spare = fs.create("/spare")
+        fs.write(spare, 0, b"\xbb" * (2 * BLOCK_SIZE))
+        victim = fs.create("/victim")
+        self._fill_disk(fs)
+        # Exactly two blocks come back; a four-block write must stop
+        # after them with the written prefix visible — not vanish, and
+        # not leave invisible debris.
+        fs.unlink("/spare")
+        data = pattern_bytes(0xD1CE, 0, 4 * BLOCK_SIZE)
+        with pytest.raises(NoSpace):
+            fs.write(victim, 0, data)
+        inode = fs.iget(victim)
+        assert inode.size == 2 * BLOCK_SIZE
+        assert fs.read(victim, 0, 2 * BLOCK_SIZE) == data[: 2 * BLOCK_SIZE]
+
+    def test_failed_write_leaves_no_zombie_extent(self, fs):
+        spare = fs.create("/spare")
+        fs.write(spare, 0, b"\xbb" * (2 * BLOCK_SIZE))
+        victim = fs.create("/victim")
+        self._fill_disk(fs)
+        fs.unlink("/spare")
+        with pytest.raises(NoSpace):
+            fs.write(victim, 0, pattern_bytes(0xD1CE, 0, 4 * BLOCK_SIZE))
+        # Free plenty of space, then extend the file far past the failed
+        # write: the gap must read as zeros — a reused block from the
+        # failed attempt must not resurrect with stale bytes.
+        fs.unlink("/filler")
+        tail = pattern_bytes(0x7A11, 0, BLOCK_SIZE)
+        fs.write(victim, 8 * BLOCK_SIZE, tail)
+        assert fs.read(victim, 2 * BLOCK_SIZE, 6 * BLOCK_SIZE) == b"\x00" * (6 * BLOCK_SIZE)
+        assert fs.read(victim, 8 * BLOCK_SIZE, BLOCK_SIZE) == tail
