@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test lint docstrings serve-smoke cluster-smoke chaos-smoke verify-disk bench bench-full bench-interp bench-server bench-cluster forensics-smoke explore-smoke examples table1 table1-par table2 clean
+.PHONY: install test lint docstrings serve-smoke cluster-smoke chaos-smoke backend-smoke verify-disk bench bench-full bench-interp bench-server bench-cluster bench-backend forensics-smoke explore-smoke examples table1 table1-par table2 clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -36,6 +36,13 @@ cluster-smoke:
 chaos-smoke:
 	$(PY) scripts/chaos_smoke.py
 
+# The tiered backing-store smoke: a tiered crash storm keeps every ack
+# and passes the remote-only audit, an object-store outage across a
+# reboot defers then reconciles under one --batch pass, and the tiered
+# campaign digests are bit-identical across execution engines.
+backend-smoke:
+	$(PY) scripts/backend_smoke.py
+
 # Independent on-disk-format verification: clean image dissects clean,
 # injected damage is found, the constructed divergent image fires a
 # DivergenceReport, and a mini crash campaign's fsck verdicts all agree
@@ -65,6 +72,11 @@ bench-server:
 # benchmarks/results/cluster_throughput.txt.
 bench-cluster:
 	RIO_BENCH_CLUSTER_CLIENTS=1024 $(PY) -m pytest benchmarks/bench_cluster.py --benchmark-only -q -s
+
+# Backing-store tier cost grid (throughput per backend flavour, dedup
+# rate); regenerates benchmarks/results/backend_throughput.txt.
+bench-backend:
+	PYTHONPATH=src $(PY) -m pytest benchmarks/bench_backend.py --benchmark-only -q -s
 
 # Flight-recorder smoke: a tiny traced 2-job campaign (disk/pointer
 # corrupts within its first attempts under the default seed schedule),

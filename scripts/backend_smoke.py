@@ -1,0 +1,126 @@
+"""CI smoke for the tiered backing store (``make backend-smoke``).
+
+Three independent gates, each a design claim of the backend tier:
+
+1. **Zero lost acks over the remote tier** — a seeded tiered traffic
+   campaign (forced crash storm) keeps every acknowledged op, every
+   recovery reconciles the object store, and the final remote-only
+   audit (local disk thrown away) passes.
+2. **Outage recovery** — a kernel crash with the upload queue still
+   dirty while the object store is *down*: the mount-time reconcile
+   defers (as declared), and after the store heals one ``--batch``
+   pass reconciles the tier so the materialized image matches the
+   local disk bit for bit.
+3. **Cross-engine seed purity** — the same tiered campaign pinned to
+   the reference engine and the hot engine produces bit-identical ack,
+   state and remote-image digests.
+
+Exits non-zero on the first failed gate.  Pure stdlib + repro; no
+pytest dependency, so CI can run it as a bare script.
+"""
+
+import sys
+from dataclasses import replace
+
+sys.path.insert(0, "src")
+
+from repro.backend.fsck_remote import fsck_remote  # noqa: E402
+from repro.reliability import TrafficConfig, run_traffic_campaign  # noqa: E402
+from repro.reliability.campaign import system_spec_for  # noqa: E402
+from repro.server import LoadSpec  # noqa: E402
+from repro.system import build_system  # noqa: E402
+
+SEED = 13
+
+
+def gate(name: str, ok: bool, detail: str) -> None:
+    verdict = "ok" if ok else "FAIL"
+    print(f"[backend-smoke] {name}: {verdict} ({detail})")
+    if not ok:
+        sys.exit(1)
+
+
+def campaign(fast_path=None):
+    return run_traffic_campaign(
+        TrafficConfig(
+            system="rio_prot",
+            clients=8,
+            crashes=1,
+            seed=SEED,
+            load=LoadSpec(ops_per_client=12),
+            backend="tiered",
+            fast_path=fast_path,
+        )
+    )
+
+
+def churn(system, prefix: str) -> None:
+    system.vfs.mkdir(prefix)
+    for i in range(12):
+        fd = system.vfs.open(f"{prefix}/f{i}", create=True)
+        system.vfs.write(fd, bytes([i]) * (512 + 64 * i))
+        system.vfs.close(fd)
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+
+
+def main() -> None:
+    # Gate 1: tiered storm, zero lost acks, remote-only audit passes.
+    result = campaign()
+    gate(
+        "tiered-storm",
+        result.ok and result.remote_ok and result.remote_reconciles >= 1,
+        f"lost={result.lost_acks} reconciles={result.remote_reconciles} "
+        f"uploads={(result.remote_stats or {}).get('uploads', 0)} "
+        f"remote_ok={result.remote_ok}",
+    )
+
+    # Gate 2: crash dirty during an outage; heal; one batch pass reconciles.
+    spec = system_spec_for(
+        "rio_prot", fs_blocks=256, backend="tiered", backend_seed=SEED
+    )
+    system = build_system(spec)
+    store = system.backing
+    churn(system, "/base")
+    store.drain_uploads()
+    store.config = replace(store.config, dirty_threshold=10**9)
+    churn(system, "/late")
+    stranded = len(store._dirty)
+    system.crash("backend smoke outage", kind="forced")
+    store.config = replace(store.config, dirty_threshold=8)
+    store.remote.set_down(True)
+    report = system.reboot()
+    deferred = report.remote is not None and report.remote.deferred
+    store.remote.set_down(False)
+    import hashlib
+
+    check = fsck_remote(store, batch=True, force=True)
+    materialized = hashlib.sha256(store.materialize()).hexdigest()
+    healed = check.ok and materialized == store.local_image_sha256()
+    gate(
+        "outage-recovery",
+        stranded > 0 and deferred and healed,
+        f"stranded={stranded} deferred={deferred} repairs={check.repairs} "
+        f"reconciled={check.ok}",
+    )
+
+    # Gate 3: hot and reference engines, bit-identical digests.
+    hot = campaign(fast_path=True)
+    ref = campaign(fast_path=False)
+    same = (
+        hot.ack_digest == ref.ack_digest
+        and hot.state_digest == ref.state_digest
+        and hot.remote_audit["image_sha256"] == ref.remote_audit["image_sha256"]
+    )
+    gate(
+        "engine-purity",
+        same,
+        f"ack={hot.ack_digest[:12]} state={hot.state_digest[:12]} "
+        f"remote={hot.remote_audit['image_sha256'][:12]}",
+    )
+    print("[backend-smoke] all gates passed")
+
+
+if __name__ == "__main__":
+    main()

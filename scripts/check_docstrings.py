@@ -2,7 +2,8 @@
 """Docstring-coverage gate: every public item must say what it is.
 
 Walks the source files passed on the command line (defaults to the
-gated set: ``src/repro/server/`` and ``src/repro/__main__.py``), parses
+gated set: ``src/repro/server/``, ``src/repro/explore/``,
+``src/repro/backend/`` and ``src/repro/__main__.py``), parses
 them with ``ast`` — no imports, so it runs anywhere — and fails if any
 public module, class, function or method lacks a docstring.  "Public"
 means not underscore-prefixed; ``__init__`` is exempt when its class is
@@ -20,7 +21,12 @@ import pathlib
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_TARGETS = ("src/repro/server", "src/repro/explore", "src/repro/__main__.py")
+DEFAULT_TARGETS = (
+    "src/repro/server",
+    "src/repro/explore",
+    "src/repro/backend",
+    "src/repro/__main__.py",
+)
 
 
 def _is_public(name: str) -> bool:

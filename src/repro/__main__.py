@@ -21,6 +21,9 @@ Commands:
 * ``serve``   — the crash-transparent file service under a crash storm:
   N clients, M mid-traffic kernel crashes, warm reboots, and the
   zero-lost-acks durability audit (exit 1 if any ack was lost).
+  ``--backend tiered`` puts a write-back object-store tier behind the
+  disk: every recovery reconciles the remote tier, and the campaign
+  finishes with the remote-only audit (the local disk thrown away).
 * ``loadgen`` — the same deterministic multi-client load with no storm:
   a pure throughput/latency measurement of the service.
 * ``cluster`` — the multi-kernel cluster: N independent Machine+Kernel
@@ -49,6 +52,11 @@ Commands:
 * ``load-disk`` — install a dumped image onto a fresh disk, run both
   fsck and dissect over it, and report whether their verdicts agree
   (exit 1 on divergence).
+* ``fsck-remote`` — the worked outage-recovery scenario: crash a
+  tiered stack with the upload queue still dirty (``--outage`` holds
+  the object store down through the reboot), then reconcile the remote
+  tier under the s3ql-style ``--batch``/``--force`` switches and
+  cross-check the materialized image with the independent verifier.
 
 Each accepts ``--scale`` to trade time for statistics.
 """
@@ -325,6 +333,7 @@ def _traffic_config(args, crashes: int):
         storm=args.storm,
         load=LoadSpec(ops_per_client=args.ops, pipeline=args.pipeline),
         repair=args.repair,
+        backend=args.backend,
     )
     if args.faults:
         config.fault_type = _parse_fault_types(args.faults)[0]
@@ -477,6 +486,7 @@ def cmd_explore(args) -> int:
         clients=args.clients,
         ops_per_client=args.ops_per_client,
         plant_ack_bug=args.plant_ack_bug,
+        backend=args.backend,
     )
     if args.replay is not None:
         try:
@@ -560,16 +570,16 @@ def cmd_dissect(args) -> int:
     return 0 if report.clean else 1
 
 
-def _age_filesystem(system, *, ops: int, seed: int) -> None:
+def _age_filesystem(system, *, ops: int, seed: int, prefix: str = "/aged") -> None:
     """Seeded create/overwrite/unlink churn — ages an image for dumping.
 
-    Pure function of ``(ops, seed)`` so two dumps of the same
+    Pure function of ``(ops, seed, prefix)`` so two dumps of the same
     configuration produce byte-identical images.
     """
     import random
 
     rng = random.Random(seed)
-    system.vfs.mkdir("/aged")
+    system.vfs.mkdir(prefix)
     live: list[str] = []
     for i in range(ops):
         action = rng.random()
@@ -579,7 +589,7 @@ def _age_filesystem(system, *, ops: int, seed: int) -> None:
         if live and action < 0.5:
             path = rng.choice(live)
         else:
-            path = f"/aged/f{i}"
+            path = f"{prefix}/f{i}"
             live.append(path)
         fd = system.vfs.open(path, create=True, truncate=True)
         body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 4096)))
@@ -613,6 +623,124 @@ def cmd_dump_disk(args) -> int:
     )
     print(f"wrote {args.out}: {args.blocks} blocks, sha256 {digest[:16]}")
     return 0
+
+
+def cmd_fsck_remote(args) -> int:
+    """The worked outage-recovery scenario for the remote tier.
+
+    Builds a tiered stack, ages it to a sealed baseline, churns again
+    and crashes the kernel with the upload queue still dirty (the queue
+    is kernel memory: it dies with the machine), optionally holds the
+    object store down through the reboot (``--outage``: the mount-time
+    reconcile defers, exactly like a cloud filesystem that must mount
+    before the network is back), then heals the store and runs the
+    explicit ``fsck_remote`` pass under ``--batch``/``--force``.
+    Finishes with the second opinion: the image materialized from the
+    object store *alone* is dissected and cross-checked against fsck.
+    Exit 0 when the tier reconciled and the verdicts agree; 1 when
+    repairs still need ``--batch`` or the second opinion diverges.
+    """
+    from repro.backend.audit import mount_materialized
+    from repro.backend.fsck_remote import fsck_remote
+    from repro.fs.dissect import compare_verdicts, dissect_image
+    from repro.reliability.campaign import system_spec_for
+    from repro.system import build_system
+
+    say = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+    spec = system_spec_for(
+        args.system,
+        fs_blocks=args.blocks,
+        backend=args.backend,
+        backend_seed=args.seed,
+    )
+    system = build_system(spec)
+    store = system.backing
+
+    # Phase 1: seeded churn, drained and sealed — the healthy baseline.
+    _age_filesystem(system, ops=args.age, seed=args.seed)
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+    store.drain_uploads()
+    baseline = fsck_remote(store, batch=True)
+    say(
+        f"baseline: {store.stats.uploads} block(s) uploaded "
+        f"({baseline.repairs} mkfs-era reconciled), "
+        f"{len(store.remote.list('obj/'))} blob(s) in the store, sealed"
+    )
+
+    # Phase 2: churn again and crash with the upload queue still dirty.
+    # Raising the drain threshold holds the queue: flushes keep landing
+    # on the local disk, nothing reaches the object store, the crash
+    # strands every queued upload.
+    from dataclasses import replace as _replace
+
+    store.config = _replace(store.config, dirty_threshold=10**9)
+    _age_filesystem(system, ops=args.age, seed=args.seed + 1, prefix="/aged2")
+    system.fs.flush_data(sync=True)
+    system.fs.flush_metadata(sync=True)
+    system.drain_disks()
+    say(
+        f"crashing with {len(store._dirty)} block(s) dirty in the "
+        "upload queue (kernel memory: the queue dies with the machine)"
+    )
+    system.crash("fsck-remote scenario", kind="forced")
+    store.config = _replace(store.config, dirty_threshold=8)
+
+    if args.outage:
+        store.remote.set_down(True)
+        report = system.reboot()
+        remote = report.remote
+        say(
+            "reboot during object-store outage: reconcile "
+            + ("DEFERRED (as declared)" if remote and remote.deferred else "ran?!")
+        )
+        store.remote.set_down(False)
+        say("object store healed; running the explicit pass")
+    else:
+        report = system.reboot()
+        remote = report.remote
+        say(
+            f"reboot reconcile: {remote.repairs} repair(s), "
+            f"needs_batch={remote.needs_batch}"
+        )
+
+    check = fsck_remote(store, batch=args.batch, force=args.force)
+    print(check.format())
+    if check.needs_batch:
+        say("repairs pending: re-run with --batch to apply them (s3ql rule)")
+
+    # Second opinion: the remote tier alone must reproduce an image both
+    # judges bless.
+    scratch, scratch_report, image = mount_materialized(store)
+    scan = dissect_image(image)
+    divergence = compare_verdicts(
+        fsck_unrecoverable=scratch_report.fsck.unrecoverable,
+        fsck_fix_count=scratch_report.fsck.fix_count,
+        report=scan,
+    )
+    print(
+        f"materialized image {scan.image_sha256[:16]}: "
+        f"{len(scan.findings)} dissect finding(s), "
+        f"{scratch_report.fsck.fix_count} fsck fix(es), verdicts "
+        + ("AGREE" if divergence.agreed else "DIVERGE")
+    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "reconcile": check.to_json_dict(),
+                    "divergence": divergence.to_json_dict(),
+                    "image_sha256": scan.image_sha256,
+                    "store_stats": store.stats.to_json_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return 0 if check.ok and divergence.agreed else 1
 
 
 def cmd_load_disk(args) -> int:
@@ -676,6 +804,14 @@ def _add_traffic_flags(parser, *, crashes: int | None) -> None:
         "--repair",
         action="store_true",
         help="re-apply lost journal entries during recovery (for disk runs)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("local", "objectstore", "tiered"),
+        help="tiered backing store behind the disk (default: none); adds "
+        "remote-tier reconciles at every recovery plus the final "
+        "remote-only audit",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     if crashes is not None:
@@ -885,6 +1021,13 @@ def main(argv: list[str] | None = None) -> int:
         help="traffic: switch on the planted ack-before-execute ordering bug",
     )
     pe.add_argument(
+        "--backend",
+        default=None,
+        choices=("local", "objectstore", "tiered"),
+        help="tiered backing store: enumerates backend/upload and "
+        "backend/commit boundaries and arms the remote-tier spec clause",
+    )
+    pe.add_argument(
         "--resume",
         metavar="PATH",
         default=None,
@@ -931,6 +1074,50 @@ def main(argv: list[str] | None = None) -> int:
         "load-disk", help="fsck + dissect an image; exit 1 on divergence"
     )
     pld.add_argument("image", help="image produced by dump-disk")
+    pfr = sub.add_parser(
+        "fsck-remote",
+        help="crash a tiered stack mid-upload, reconcile the remote tier "
+        "(exit 1 if repairs still pend or the second opinion diverges)",
+    )
+    pfr.add_argument(
+        "--system",
+        default="rio_prot",
+        help="disk | rio_noprot | rio_prot (default rio_prot)",
+    )
+    pfr.add_argument(
+        "--backend",
+        default="tiered",
+        choices=("local", "objectstore", "tiered"),
+        help="backing-store flavour (default tiered)",
+    )
+    pfr.add_argument(
+        "--blocks", type=int, default=256, help="file system size in 8 KB blocks"
+    )
+    pfr.add_argument(
+        "--age",
+        type=int,
+        default=25,
+        metavar="OPS",
+        help="seeded churn operations per phase (default 25)",
+    )
+    pfr.add_argument("--seed", type=int, default=1, help="scenario seed")
+    pfr.add_argument(
+        "--batch",
+        action="store_true",
+        help="apply repairs instead of only reporting them (s3ql --batch)",
+    )
+    pfr.add_argument(
+        "--force",
+        action="store_true",
+        help="full rescan even when the seal says local and remote match",
+    )
+    pfr.add_argument(
+        "--outage",
+        action="store_true",
+        help="hold the object store down through the reboot: the mount-time "
+        "reconcile defers, the explicit pass runs after the heal",
+    )
+    pfr.add_argument("--json", action="store_true", help="machine-readable report")
     args = parser.parse_args(argv)
     return {
         "demo": cmd_demo,
@@ -948,6 +1135,7 @@ def main(argv: list[str] | None = None) -> int:
         "dissect": cmd_dissect,
         "dump-disk": cmd_dump_disk,
         "load-disk": cmd_load_disk,
+        "fsck-remote": cmd_fsck_remote,
     }[args.command](args)
 
 

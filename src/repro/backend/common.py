@@ -1,0 +1,189 @@
+"""The object-store protocol every backing tier implements.
+
+An s3ql-style store: named immutable blobs behind four verbs —
+``get``/``put``/``delete``/``list`` — plus a typed error taxonomy that
+separates *weather* from *wreckage*:
+
+* :class:`TransientBackendError` — this request failed but a retry may
+  succeed (a dropped connection, a 5xx, a throttle).  Callers with a
+  retry budget spend it here.
+* :class:`BackendOutage` — the store is unreachable as a whole; retrying
+  now is pointless.  Callers defer the work (the tiered store keeps the
+  block dirty locally and re-offers it at the next drain).
+* :class:`BackendError` — fatal: a malformed key, a protocol violation.
+  Nothing retries these; they are bugs, not weather.
+
+Keys are flat strings namespaced by convention (``obj/<sha256>``,
+``map/<block>``, ``ref/<sha256>``, ``seal`` — see
+:mod:`repro.backend.tiered`).  ``list`` returns keys sorted, always:
+listing order is digest material and must not depend on insertion
+history.
+
+Determinism contract: a backend's observable behavior (service times,
+transient failures, outage windows) is a pure function of its
+construction seed and its call stream.  No wall clock, no ambient
+randomness — the simulated machine clock is the only time source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class BackendError(Exception):
+    """Fatal backend failure: a bug or protocol violation, never retried."""
+
+
+class TransientBackendError(BackendError):
+    """This request failed; an identical retry may succeed."""
+
+
+class BackendOutage(TransientBackendError):
+    """The store is unreachable as a whole; defer instead of retrying."""
+
+
+@dataclass
+class BackendStats:
+    """Operation counters one backend accumulates (observability only)."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    lists: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Requests denied retryably (transient errors and chaos denials).
+    transient_errors: int = 0
+    #: Requests rejected because the store was down.
+    outage_rejections: int = 0
+    #: Total virtual time charged for service (ns).
+    service_ns: int = 0
+
+    def to_json_dict(self) -> Dict[str, int]:
+        """JSON-safe counter summary for reports and digests."""
+        return dict(self.__dict__)
+
+
+class Backend:
+    """Abstract object store; subclasses implement the four verbs.
+
+    Subclasses override the underscore hooks (``_get``/``_put``/
+    ``_delete``/``_list``/``_contains``); the public verbs validate
+    keys, keep the counters, and are the only entry points callers use.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        #: Optional :class:`~repro.faults.capabilities.ChaosRegistry`;
+        #: implementations consult it per request (see objectstore).
+        self.chaos = None
+
+    # -- the four verbs (plus contains) --------------------------------
+
+    def get(self, key: str) -> bytes:
+        """Return the blob at ``key``; raises :class:`KeyError` if absent."""
+        self._check_key(key)
+        self.stats.gets += 1
+        data = self._get(key)
+        self.stats.bytes_out += len(data)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` at ``key``, overwriting any previous blob."""
+        self._check_key(key)
+        self.stats.puts += 1
+        self.stats.bytes_in += len(data)
+        self._put(key, bytes(data))
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` (idempotent: absent keys delete silently)."""
+        self._check_key(key)
+        self.stats.deletes += 1
+        self._delete(key)
+
+    def list(self, prefix: str = "") -> List[str]:
+        """Every key starting with ``prefix``, sorted."""
+        self.stats.lists += 1
+        return self._list(prefix)
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` holds a blob (charged like a metadata get)."""
+        self._check_key(key)
+        return self._contains(key)
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _get(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def _put(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def _list(self, prefix: str) -> List[str]:
+        raise NotImplementedError
+
+    def _contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    # -- shared plumbing ------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        """Reject keys the protocol cannot represent."""
+        if not key or "\n" in key or len(key) > 256:
+            raise BackendError(f"malformed backend key {key!r}")
+
+    def digest(self) -> str:
+        """sha256 over the sorted ``key -> sha256(content)`` map.
+
+        The determinism fixture: two stores with identical contents have
+        identical digests regardless of operation history.
+        """
+        h = hashlib.sha256()
+        for key in self.list():
+            h.update(key.encode())
+            h.update(b"\x00")
+            h.update(hashlib.sha256(self._get(key)).digest())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+class DictBackend(Backend):
+    """Shared in-memory blob map the concrete backends build on."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blobs: Dict[str, bytes] = {}
+
+    def _get(self, key: str) -> bytes:
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise KeyError(f"no such backend object: {key}") from None
+
+    def _put(self, key: str, data: bytes) -> None:
+        self._blobs[key] = data
+
+    def _delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def _list(self, prefix: str) -> List[str]:
+        return sorted(k for k in self._blobs if k.startswith(prefix))
+
+    def _contains(self, key: str) -> bool:
+        return key in self._blobs
+
+    def object_count(self) -> int:
+        """Number of stored blobs (observability)."""
+        return len(self._blobs)
+
+    def total_bytes(self) -> int:
+        """Total stored payload bytes (observability)."""
+        return sum(len(v) for v in self._blobs.values())

@@ -1,0 +1,150 @@
+"""The ``objectstore`` backend: a seeded model of a remote blob store.
+
+Everything a real object store does to you, deterministically:
+
+* **latency + bandwidth** — each request costs a flat per-request
+  latency plus payload-size over bandwidth, plus a seeded jitter draw,
+  charged against the simulated machine clock (virtual time, the only
+  clock in the repo);
+* **transient failures** — a seeded percentage of requests raise
+  :class:`TransientBackendError` (the retryable 5xx of the model);
+* **outage windows** — :meth:`set_down` / :meth:`fail_for` make every
+  request raise :class:`BackendOutage` until the store is brought back
+  (or the window's virtual deadline passes);
+* **chaos hooks** — an installed
+  :class:`~repro.faults.capabilities.ChaosRegistry` is consulted per
+  request: ``backend_outage`` fires an outage rejection,
+  ``backend_fail`` a transient failure, and ``slow_io`` stretches the
+  service time through the same :meth:`ChaosRegistry.io_service_ns`
+  path the disks use — so the existing chaos campaign knobs compose
+  with the remote tier unchanged.
+
+Same seed, same call stream → same failures at the same requests and
+the same nanoseconds of service, on either execution engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.common import BackendOutage, DictBackend, TransientBackendError
+from repro.util.prng import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class ObjectStoreConfig:
+    """The deterministic performance/failure model of one object store."""
+
+    #: Flat per-request service cost (ns); the round-trip floor.
+    latency_ns: int = 2_000_000
+    #: Payload transfer rate (bytes per virtual second).
+    bandwidth_bytes_per_sec: int = 20_000_000
+    #: Upper bound of the seeded uniform per-request jitter (ns).
+    jitter_ns: int = 500_000
+    #: Percent of requests that fail retryably (0 = reliable).
+    transient_fail_pct: int = 0
+    #: Seed for the jitter/failure PRNG.
+    seed: int = 0
+
+
+class ObjectStoreBackend(DictBackend):
+    """Blob map behind a seeded latency, bandwidth and failure model."""
+
+    name = "objectstore"
+
+    def __init__(self, config: ObjectStoreConfig | None = None, *, clock=None) -> None:
+        super().__init__()
+        self.config = config or ObjectStoreConfig()
+        self._clock = clock
+        self._rng = DeterministicRandom(self.config.seed ^ 0x0B15C0DE)
+        self._down = False
+        self._down_until_ns: int | None = None
+
+    def attach(self, clock) -> None:
+        """Point the backend at the machine clock (idempotent)."""
+        self._clock = clock
+
+    # -- outage control -------------------------------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Open (or close) an indefinite outage window."""
+        self._down = down
+        if not down:
+            self._down_until_ns = None
+
+    def fail_for(self, duration_ns: int) -> None:
+        """Outage until the machine clock passes ``now + duration_ns``."""
+        if self._clock is None:
+            raise TransientBackendError("fail_for needs an attached clock")
+        self._down_until_ns = self._clock.now_ns + duration_ns
+
+    @property
+    def down(self) -> bool:
+        """True while requests are being rejected with an outage."""
+        if self._down:
+            return True
+        if self._down_until_ns is None:
+            return False
+        if self._clock is not None and self._clock.now_ns >= self._down_until_ns:
+            self._down_until_ns = None
+            return False
+        return True
+
+    # -- the per-request gate -------------------------------------------
+
+    def _gate(self, nbytes: int) -> None:
+        """Outage/failure checks, then the service-time charge.
+
+        Evaluated in a fixed order (outage, chaos outage, chaos fail,
+        seeded fail, service charge) so the PRNG draw sequence is a pure
+        function of the call stream.
+        """
+        if self.down:
+            self.stats.outage_rejections += 1
+            raise BackendOutage("object store is down")
+        chaos = self.chaos
+        if chaos is not None and chaos.should_fail("backend_outage"):
+            self.stats.outage_rejections += 1
+            raise BackendOutage("chaos: backend outage")
+        if chaos is not None and chaos.should_fail("backend_fail"):
+            self.stats.transient_errors += 1
+            raise TransientBackendError("chaos: transient backend failure")
+        config = self.config
+        if config.transient_fail_pct and (
+            self._rng.randrange(100) < config.transient_fail_pct
+        ):
+            self.stats.transient_errors += 1
+            raise TransientBackendError("seeded transient backend failure")
+        service = config.latency_ns
+        if nbytes and config.bandwidth_bytes_per_sec:
+            service += (nbytes * 1_000_000_000) // config.bandwidth_bytes_per_sec
+        if config.jitter_ns:
+            service += self._rng.randrange(config.jitter_ns)
+        if chaos is not None:
+            service = chaos.io_service_ns(service)
+        self.stats.service_ns += service
+        if self._clock is not None:
+            self._clock.consume(service)
+
+    # -- the verbs, gated -----------------------------------------------
+
+    def _get(self, key: str) -> bytes:
+        blob = self._blobs.get(key)
+        # Gate before reporting absence: during an outage you cannot
+        # know a key is missing, so the outage wins.
+        self._gate(len(blob) if blob is not None else 0)
+        if blob is None:
+            raise KeyError(f"no such backend object: {key}")
+        return blob
+
+    def _put(self, key: str, data: bytes) -> None:
+        self._gate(len(data))
+        super()._put(key, data)
+
+    def _delete(self, key: str) -> None:
+        self._gate(0)
+        super()._delete(key)
+
+    def _list(self, prefix: str):
+        self._gate(0)
+        return super()._list(prefix)

@@ -24,6 +24,10 @@ The default spec (:func:`default_spec`):
   torn page.
 * **fsck-dissect-agree** — the independent on-disk verifier's second
   opinion agrees with fsck about the post-recovery image.
+* **remote-tier-consistent** — with a tiered backing store: after
+  recovery and reconcile, the image materialized from the object store
+  *alone* mounts, passes the dissect second opinion, and reproduces
+  every acknowledged operation (skipped when no backend is installed).
 
 Each clause sees only the :class:`CrashContext` fields it declares an
 interest in and skips (rather than fails) when a field is absent — a
@@ -93,6 +97,9 @@ class CrashContext:
     dissect: Any = None
     #: The fsck-vs-dissect :class:`DivergenceReport` (or None).
     divergence: Any = None
+    #: The remote-tier :class:`~repro.backend.audit.RemoteCheck` (or
+    #: None when the system has no backing store).
+    remote: Any = None
 
 
 class SpecClause:
@@ -221,6 +228,62 @@ class FsckDissectAgree(SpecClause):
         return [f"fsck/dissect divergence: {reason}" for reason in divergence.details]
 
 
+class RemoteTierConsistent(SpecClause):
+    """After recovery, the remote tier alone must pay every ack.
+
+    Judges the :class:`~repro.backend.audit.RemoteCheck`: the post-
+    recovery reconcile must complete (a crash mid-upload legitimately
+    leaves the object store behind the local disk — fsck-remote healing
+    it from the local authority is correct operation, not a violation),
+    and the image materialized from the object store alone must mount,
+    agree with the dissect second opinion, and reproduce every
+    acknowledged operation *the local disk still pays* — an ack the
+    local authority itself lost (a UFS crash dropping unflushed writes)
+    is :class:`AckedDataDurable`'s finding, and a remote tier that
+    agrees with local about it is consistent, not divergent.  Skips
+    when the trial has no backing store.
+    """
+
+    clause_id = "remote-tier-consistent"
+
+    def check(self, ctx: CrashContext) -> List[str]:
+        """Fires on audit errors, undeclared deferrals, lost acks over
+        the materialized image, unreconciled findings, or divergence."""
+        remote = ctx.remote
+        if remote is None:
+            return []
+        details: List[str] = []
+        if remote.error is not None:
+            details.append(f"remote audit error: {remote.error}")
+            return details
+        if remote.deferred:
+            details.append(
+                "remote reconcile deferred outside a declared outage window"
+            )
+            return details
+        reconcile = remote.reconcile
+        if reconcile is not None and not reconcile.ok:
+            details.append(
+                "remote fsck left the tier unreconciled: "
+                f"needs_batch={reconcile.needs_batch} "
+                f"unrepaired={reconcile.unrepaired}"
+            )
+        # Audit entries lead with their identity ("file /a/b: ...");
+        # skip losses the local audit reported too — the tiers agree.
+        locally_lost = {entry.split(":", 1)[0] for entry in ctx.lost}
+        for entry in remote.lost:
+            if entry.split(":", 1)[0] in locally_lost:
+                continue
+            details.append(f"remote tier lost acknowledgement: {entry}")
+        divergence = remote.divergence
+        if divergence is not None and not divergence.agreed:
+            details.extend(
+                f"remote image fsck/dissect divergence: {reason}"
+                for reason in divergence.details
+            )
+        return details
+
+
 class CrashSpec:
     """A composable conjunction of spec clauses."""
 
@@ -248,5 +311,6 @@ def default_spec() -> CrashSpec:
             MetadataAtomic(),
             ShadowPagesNeverTorn(),
             FsckDissectAgree(),
+            RemoteTierConsistent(),
         ]
     )

@@ -28,7 +28,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import CrashedMachineError, FileSystemError, SystemCrash
-from repro.fs.dissect import compare_verdicts, dissect_image, snapshot
+from repro.fs.dissect import (
+    compare_verdicts,
+    dissect_image,
+    fsck_acknowledged,
+    snapshot,
+)
 from repro.reliability.campaign import system_spec_for
 from repro.server.journal import AckJournal
 from repro.server.loadgen import LoadClient, LoadSpec, run_load
@@ -42,28 +47,13 @@ WORKLOAD_NAMES = ("basic", "traffic")
 
 
 def _fsck_acknowledged(finding, fixes) -> bool:
-    """True when fsck's own fix list names this finding's location.
+    """Agreement-with-disclosure filter over one dissect finding.
 
-    fsck sometimes repairs a structure only partially and says so — an
-    orphaned directory reconnected into ``lost+found`` keeps its missing
-    dot entries because there is no room to recreate them, and the fix
-    list records exactly that.  The independent verifier then flags the
-    same defect at the same location.  That is *agreement with
-    disclosure*, not divergence: both judges saw the damage and said so.
-    A finding only counts against fsck when it sits at a location fsck's
-    report never mentioned.  Fix messages all lead with the location
-    (``"dir 4: ..."``, ``"inode 7: ..."``, ``"superblock: ..."``) and
-    finding locations lead with the same token (``"dir 4"``,
-    ``"dir 4 block 11"``), so the match is a prefix check on that token.
+    The prefix-match logic is shared with the remote-tier audit and
+    lives in :func:`repro.fs.dissect.fsck_acknowledged`; this wrapper
+    just extracts the finding's location string.
     """
-    parts = str(getattr(finding, "where", "")).split()
-    if not parts:
-        return False
-    if len(parts) >= 2 and parts[1].isdigit():
-        token = f"{parts[0]} {parts[1]}:"
-    else:
-        token = f"{parts[0]}:"
-    return any(fix.startswith(token) for fix in fixes)
+    return fsck_acknowledged(str(getattr(finding, "where", "")), fixes)
 
 
 @dataclass(frozen=True)
@@ -83,6 +73,12 @@ class ExploreConfig:
     ops_per_client: int = 4
     #: traffic: switch on the service's planted ack-before-execute bug.
     plant_ack_bug: bool = False
+    #: Tiered backing store behind the disk ("local" | "objectstore" |
+    #: "tiered"), or None for the classic single-tier stack.  With a
+    #: backend the workload epilogue drains the upload queue, so the
+    #: enumeration also yields ``backend/upload``/``backend/commit``
+    #: boundaries and the spec's remote-tier clause engages.
+    backend: Optional[str] = None
     #: Pin the execution engine (None = the process default).
     fast_path: Optional[bool] = None
     #: Recorder ring capacity; enumeration requires zero eviction.
@@ -99,6 +95,7 @@ class ExploreConfig:
             "clients": self.clients,
             "ops_per_client": self.ops_per_client,
             "plant_ack_bug": self.plant_ack_bug,
+            "backend": self.backend,
             "fast_path": self.fast_path,
             "event_cap": self.event_cap,
         }
@@ -122,6 +119,10 @@ class _RunBase:
     def __init__(self, config: ExploreConfig) -> None:
         self.config = config
         spec = system_spec_for(config.system, fs_blocks=config.fs_blocks)
+        if config.backend is not None:
+            spec = replace(
+                spec, backend=config.backend, backend_seed=config.seed
+            )
         if config.fast_path is not None:
             spec = replace(
                 spec, machine=replace(spec.machine, fast_path=config.fast_path)
@@ -136,9 +137,49 @@ class _RunBase:
         self.image: Optional[bytes] = None
         self.dissect = None
         self.divergence = None
+        self.remote = None
 
     def execute(self) -> None:
         raise NotImplementedError
+
+    def _journal(self):
+        """The durability model backing the remote audit (or None)."""
+        return None
+
+    def _drain_backend_epilogue(self) -> None:
+        """With a backend: flush and drain at the end of a clean run.
+
+        This is the administrative durability point (the paper's
+        footnote-1 toggle) that turns the clean enumeration run into an
+        upload producer even under the Rio policy, whose sync/fsync are
+        no-ops — without it a rio-system exploration would enumerate no
+        ``backend/*`` boundaries at all.  Gated on the backend so runs
+        without one replay today's event streams byte for byte.
+        """
+        if self.system.backing is None or self.system.disk is None:
+            return
+        self.system.fs.flush_data(sync=True)
+        self.system.fs.flush_metadata(sync=True)
+        self.system.drain_disks()
+        self.system.backing.drain_uploads()
+
+    def _remote_check(self) -> None:
+        """Run the remote-tier recovery audit once (crashed runs only)."""
+        if self.remote is not None or self.system.backing is None:
+            return
+        if not self.crashed or self.reboot is None or self.recovery_error is not None:
+            return
+        journal = self._journal()
+        if journal is None:
+            return
+        from repro.backend.audit import RemoteCheck, remote_recovery_audit
+
+        try:
+            self.remote = remote_recovery_audit(self.system, journal)
+        except Exception as exc:  # the spec turns this into a violation
+            self.remote = RemoteCheck(
+                error=f"remote audit failed: {type(exc).__name__}: {exc}"
+            )
 
     def _scan_disk(self) -> None:
         """The independent second opinion over the recovered durable state.
@@ -178,6 +219,7 @@ class _RunBase:
         )
 
     def context(self, event_index: int, kind: str = "?", op: str = "?") -> CrashContext:
+        self._remote_check()
         return CrashContext(
             workload=self.config.workload,
             seed=self.config.seed,
@@ -190,6 +232,7 @@ class _RunBase:
             lost=list(self.lost),
             dissect=self.dissect,
             divergence=self.divergence,
+            remote=self.remote,
         )
 
 
@@ -287,6 +330,9 @@ class _BasicRun(_RunBase):
 
     # -- drive ----------------------------------------------------------
 
+    def _journal(self):
+        return self.model
+
     def execute(self) -> None:
         for desc, thunk in self._steps():
             self._inflight = desc
@@ -296,6 +342,15 @@ class _BasicRun(_RunBase):
                 self.crashed = True
                 self._recover()
                 return
+        # The epilogue drain is administrative: nothing is in flight,
+        # so a crash inside it loses no promise.
+        self._inflight = None
+        try:
+            self._drain_backend_epilogue()
+        except (SystemCrash, CrashedMachineError):
+            self.crashed = True
+            self._recover()
+            return
         self.completed = True
 
     def _recover(self) -> None:
@@ -315,6 +370,11 @@ class _BasicRun(_RunBase):
 
 class _TrafficRun(_RunBase):
     """The file service under seeded load; the service recovers in line."""
+
+    service: Optional[FileService] = None
+
+    def _journal(self):
+        return self.service.journal if self.service is not None else None
 
     def execute(self) -> None:
         config = self.config
@@ -339,11 +399,13 @@ class _TrafficRun(_RunBase):
                 max_file_bytes=4096,
                 pipeline=2,
             )
+            self.service = service
             clients = [
                 LoadClient(client_id, config.seed, spec)
                 for client_id in range(config.clients)
             ]
             run_load(service, clients)
+            self._drain_backend_epilogue()
             self.completed = True
         except (SystemCrash, CrashedMachineError):
             # The crash escaped service-guarded code (session setup, the

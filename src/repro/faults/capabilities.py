@@ -19,6 +19,8 @@ Capabilities and their hook sites:
 ``fail_disk_full``   block allocator raises ``ENOSPC``
 ``slow_io``          disk service time is multiplied by ``factor``
 ``fail_nth_syscall`` the Nth request a scope executes fails retryably
+``backend_fail``     an object-store request fails retryably (a 5xx)
+``backend_outage``   an object-store request is rejected as an outage
 ===================  ====================================================
 
 Determinism is the whole point: every probability draw comes from a
@@ -33,7 +35,11 @@ model per-request resource denials, and recovery or administrative
 paths (fsck, warm reboot, flushes) are never denied — chaos must not
 break the recovery SLO it exists to measure.  ``fail_queue`` carries
 its client explicitly at the admission hook, and ``slow_io`` may fire
-anywhere its scope matches, including recovery IO.
+anywhere its scope matches, including recovery IO.  The backend
+capabilities (``backend_fail``, ``backend_outage``) likewise fire
+wherever their scope matches — remote weather does not care what the
+machine is doing — except inside ``repro fsck-remote``, which runs
+under :meth:`ChaosRegistry.calm` (reconciliation is a recovery path).
 """
 
 from __future__ import annotations
@@ -52,6 +58,8 @@ CAPABILITY_NAMES = (
     "fail_disk_full",
     "slow_io",
     "fail_nth_syscall",
+    "backend_fail",
+    "backend_outage",
 )
 
 #: Capabilities that only evaluate inside an active request scope (see

@@ -389,12 +389,21 @@ class PageCache:
             if live is page and page.write_generation == generation:
                 self.set_dirty(page, False)
 
-        return disk.write(
+        request = disk.write(
             page.disk_block * SECTORS_PER_BLOCK,
             data,
             sync=sync,
             on_complete=on_complete,
         )
+        # The flush boundary is the upload boundary: a tiered backing
+        # store (see repro.backend.tiered) queues the block for remote
+        # upload the moment its local write is issued.  The disk poked
+        # the new content synchronously above, so an upload triggered
+        # here reads exactly what this flush wrote.
+        backing = getattr(kernel, "backing", None)
+        if backing is not None and backing.disk is disk:
+            backing.note_flush(page.disk_block)
+        return request
 
     def dirty_pages(self) -> list[CachePage]:
         return [p for p in self.pages.values() if p.dirty]

@@ -23,7 +23,11 @@ Public surface:
   :func:`load_image` — disk images as digest-verified artifacts.
 """
 
-from repro.fs.dissect.divergence import DivergenceReport, compare_verdicts
+from repro.fs.dissect.divergence import (
+    DivergenceReport,
+    compare_verdicts,
+    fsck_acknowledged,
+)
 from repro.fs.dissect.findings import (
     DissectReport,
     Finding,
@@ -51,6 +55,7 @@ __all__ = [
     "MAX_FINDINGS",
     "compare_verdicts",
     "dissect_image",
+    "fsck_acknowledged",
     "dump_image",
     "image_sha256",
     "install",

@@ -68,6 +68,35 @@ class DivergenceReport:
         return "\n".join(lines)
 
 
+def fsck_acknowledged(where: str, fixes) -> bool:
+    """True when fsck's own fix list names location ``where``.
+
+    fsck sometimes repairs a structure only partially and says so — an
+    orphaned directory reconnected into ``lost+found`` keeps its missing
+    dot entries because there is no room to recreate them, and the fix
+    list records exactly that.  The independent verifier then flags the
+    same defect at the same location.  That is *agreement with
+    disclosure*, not divergence: both judges saw the damage and said so.
+    A finding only counts against fsck when it sits at a location fsck's
+    report never mentioned.  Fix messages all lead with the location
+    (``"dir 4: ..."``, ``"inode 7: ..."``, ``"superblock: ..."``) and
+    finding locations lead with the same token (``"dir 4"``,
+    ``"dir 4 block 11"``), so the match is a prefix check on that token.
+
+    ``where`` is the finding's location string; ``fixes`` is fsck's fix
+    message list, passed as plain values so this module stays free of
+    any ``repro.fs.fsck`` import (the second opinion's independence).
+    """
+    parts = str(where).split()
+    if not parts:
+        return False
+    if len(parts) >= 2 and parts[1].isdigit():
+        token = f"{parts[0]} {parts[1]}:"
+    else:
+        token = f"{parts[0]}:"
+    return any(fix.startswith(token) for fix in fixes)
+
+
 def compare_verdicts(
     *,
     fsck_unrecoverable: bool,

@@ -35,6 +35,26 @@ def _emit(fs, op: str, **payload) -> None:
         rec.emit("wb", op, **payload)
 
 
+def _drain_backend(fs) -> None:
+    """Push the tiered store's upload queue at a durability point.
+
+    The flush boundary is the upload boundary: wherever a policy makes
+    data locally permanent (sync, fsync, write-through close), the
+    remote tier gets the same batch.  The drain snapshots the dirty set
+    *once* per call — the flushes issued just above may still be
+    retiring, and any page re-dirtied while a slow remote drain is in
+    flight waits for the *next* durability point instead of extending
+    this one unboundedly (see
+    :meth:`repro.backend.tiered.TieredStore.drain_uploads`).
+
+    No-op (one attribute read) on systems without a backing store, so
+    the classic single-tier stack is byte-for-byte unchanged.
+    """
+    backing = getattr(getattr(fs, "kernel", None), "backing", None)
+    if backing is not None:
+        backing.drain_uploads()
+
+
 class WritePolicy:
     """Base policy: every hook is a no-op; subclasses override."""
 
@@ -57,11 +77,13 @@ class WritePolicy:
         _emit(fs, "fsync", ino=ino)
         fs.flush_file(ino, sync=True)
         fs.flush_metadata(sync=True)
+        _drain_backend(fs)
 
     def on_sync(self, fs) -> None:
         _emit(fs, "sync", policy=self.name)
         fs.flush_data(sync=False)
         fs.flush_metadata(sync=False)
+        _drain_backend(fs)
 
     def periodic(self, fs) -> None:
         """The 30-second update daemon."""
@@ -154,6 +176,7 @@ class WriteThroughOnClosePolicy(UFSDefaultPolicy):
     def on_close(self, fs, ino: int) -> None:
         fs.flush_file(ino, sync=True)
         fs.flush_metadata(sync=True)
+        _drain_backend(fs)
         super().on_close(fs, ino)
 
 
@@ -170,6 +193,7 @@ class WriteThroughOnWritePolicy(UFSDefaultPolicy):
     def on_close(self, fs, ino: int) -> None:
         fs.flush_file(ino, sync=True)
         fs.flush_metadata(sync=True)
+        _drain_backend(fs)
         super().on_close(fs, ino)
 
 
@@ -189,6 +213,7 @@ class AdvFSPolicy(WritePolicy):
         _emit(fs, "fsync", ino=ino)
         fs.flush_file(ino, sync=True)
         fs.journal_commit()
+        _drain_backend(fs)
 
     def periodic(self, fs) -> None:
         _emit(fs, "periodic", policy=self.name)

@@ -143,6 +143,10 @@ class Kernel:
         self.ubc: UnifiedBufferCache | None = None
         self.guard: CacheGuard | None = None
         self.reliability_writes_off = False
+        #: Tiered backing store behind the root disk (see
+        #: :mod:`repro.backend`), re-pointed by the owning System on
+        #: every boot; ``None`` means the local disk is the only tier.
+        self.backing = None
 
         self._next_update_ns = self.clock.now_ns + self.config.update_interval_ns
         self._in_update = False

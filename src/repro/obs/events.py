@@ -51,7 +51,11 @@ DEFAULT_EVENT_CAP = 65536
 #:   shadow-page flip around an in-place metadata write;
 #: * ``registry/update`` — a registry-entry store (emitted pre-store);
 #: * ``server/ack``    — the file service acknowledging a request (the
-#:   durability promise the crash-consistency spec holds it to).
+#:   durability promise the crash-consistency spec holds it to);
+#: * ``backend/upload`` — the tiered store starting one block's upload
+#:   transaction (emitted before the blob put);
+#: * ``backend/commit`` — the upload's map flip (emitted before the map
+#:   put, so a crash here strands at worst an orphan blob).
 #:
 #: Boundary identity is the event's ``seq`` — stable across re-runs
 #: because both execution engines emit byte-identical streams.
@@ -63,6 +67,8 @@ BOUNDARY_EVENT_KEYS = (
     ("shadow", "end-write"),
     ("registry", "update"),
     ("server", "ack"),
+    ("backend", "upload"),
+    ("backend", "commit"),
 )
 
 _BOUNDARY_SET = frozenset(BOUNDARY_EVENT_KEYS)
@@ -89,6 +95,7 @@ EVENT_KINDS = (
     "reboot",    # warm-reboot phases: dump, audit, metadata/UBC restore
     "server",    # file service: session opens, acks, rejects, crash
                  # detection, session rebinds, recovery audits
+    "backend",   # tiered backing store: block uploads and map commits
 )
 
 

@@ -71,6 +71,11 @@ class TrafficConfig:
     #: Re-apply lost journal entries during recovery (meaningful on the
     #: disk system; a Rio run never has anything to repair).
     repair: bool = False
+    #: Tiered backing store behind the disk ("local" | "objectstore" |
+    #: "tiered"), or None for the classic single-tier stack.  With a
+    #: backend armed the campaign reconciles the remote tier at every
+    #: storm recovery and finishes with the remote-only audit.
+    backend: Optional[str] = None
     #: Pin the execution engine (None keeps the machine default).
     fast_path: Optional[bool] = None
     #: Chaos capability specs to arm — a tuple of JSON-safe dicts whose
@@ -109,11 +114,29 @@ class TrafficResult:
     final_image_sha256: str = ""
     final_dissect_findings: int = 0
     final_dissect_clean: bool = False
+    #: Remote tier (set only when ``config.backend`` is armed): storm
+    #: recoveries that reconciled the object store, repairs they
+    #: applied, deferred reconciles, and the final remote-only audit
+    #: (a :meth:`~repro.backend.audit.RemoteCheck.to_json_dict`).
+    remote_reconciles: int = 0
+    remote_repairs: int = 0
+    remote_deferred: int = 0
+    remote_audit: Optional[dict] = None
+    #: :meth:`TieredStats.to_json_dict` snapshot (uploads, dedup hits...).
+    remote_stats: Optional[dict] = None
+
+    @property
+    def remote_ok(self) -> bool:
+        """The remote tier's verdict (vacuously True without a backend)."""
+        if self.config.backend is None:
+            return True
+        return bool(self.remote_audit and self.remote_audit.get("ok"))
 
     @property
     def ok(self) -> bool:
-        """The zero-lost-acks guarantee, including the final audit."""
-        return self.lost_acks == 0 and self.final_audit_ok
+        """The zero-lost-acks guarantee, including the final audit (and
+        the remote-only audit when a backend is armed)."""
+        return self.lost_acks == 0 and self.final_audit_ok and self.remote_ok
 
     @property
     def ack_digest(self) -> str:
@@ -126,8 +149,13 @@ class TrafficResult:
         return self.load.state_digest if self.load else ""
 
     def to_json_dict(self) -> dict:
-        """JSON-serializable summary (drops the live objects)."""
-        return {
+        """JSON-serializable summary (drops the live objects).
+
+        Remote-tier keys appear only when ``config.backend`` is armed,
+        so backend-less campaigns (and the chaos digests derived from
+        them) serialize exactly as before.
+        """
+        data = {
             "system": self.config.system,
             "clients": self.config.clients,
             "crashes": self.config.crashes,
@@ -158,6 +186,15 @@ class TrafficResult:
             "final_dissect_findings": self.final_dissect_findings,
             "final_dissect_clean": self.final_dissect_clean,
         }
+        if self.config.backend is not None:
+            data["backend"] = self.config.backend
+            data["remote_reconciles"] = self.remote_reconciles
+            data["remote_repairs"] = self.remote_repairs
+            data["remote_deferred"] = self.remote_deferred
+            data["remote_ok"] = self.remote_ok
+            data["remote_audit"] = self.remote_audit
+            data["remote_stats"] = self.remote_stats
+        return data
 
 
 class _CrashStorm:
@@ -225,6 +262,8 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     if config.storm not in ("forced", "faults"):
         raise ValueError(f"unknown storm {config.storm!r}")
     spec = system_spec_for(config.system, fs_blocks=config.fs_blocks)
+    if config.backend is not None:
+        spec = replace(spec, backend=config.backend, backend_seed=config.seed)
     if config.fast_path is not None:
         spec = replace(spec, machine=replace(spec.machine, fast_path=config.fast_path))
     system = build_system(spec)
@@ -246,8 +285,12 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
     from repro.fs.dissect import compare_verdicts, dissect_image, snapshot
 
     scans: List = []
+    remote_reconciles: List = []
 
     def dissect_after_recovery(sys_, report) -> None:
+        remote = getattr(report, "remote", None)
+        if remote is not None:
+            remote_reconciles.append(remote)
         if sys_.disk is None or report.fsck is None:
             return
         scan = dissect_image(snapshot(sys_.disk))
@@ -300,6 +343,20 @@ def run_traffic_campaign(config: TrafficConfig) -> TrafficResult:
         result.final_image_sha256 = final_scan.image_sha256
         result.final_dissect_findings = len(final_scan.findings)
         result.final_dissect_clean = final_scan.clean
+
+    # Remote tier verdict: the storm reconciles already ran inside each
+    # reboot; the campaign finishes with the remote-only audit — the
+    # object store alone, local disk thrown away, must pay every ack.
+    if config.backend is not None and system.backing is not None:
+        from repro.backend.audit import remote_recovery_audit
+
+        result.remote_reconciles = len(remote_reconciles)
+        result.remote_repairs = sum(r.repairs for r in remote_reconciles)
+        result.remote_deferred = sum(1 for r in remote_reconciles if r.deferred)
+        result.remote_audit = remote_recovery_audit(
+            system, service.journal
+        ).to_json_dict()
+        result.remote_stats = system.backing.stats.to_json_dict()
     return result
 
 
@@ -339,6 +396,22 @@ def format_traffic_report(result: TrafficResult) -> str:
         f"{result.dissect_divergences} fsck divergences, final image "
         + ("CLEAN" if result.final_dissect_clean else f"{result.final_dissect_findings} findings")
         + f" ({result.final_image_sha256[:16]})",
+    ]
+    if config.backend is not None:
+        audit = result.remote_audit or {}
+        lines.append(
+            f"  remote tier     backend={config.backend}: "
+            f"{result.remote_reconciles} reconciles "
+            f"({result.remote_repairs} repairs, "
+            f"{result.remote_deferred} deferred), final audit "
+            + ("OK" if result.remote_ok else "FAILED")
+            + (
+                f" (image {str(audit.get('image_sha256', ''))[:16]})"
+                if audit.get("image_sha256")
+                else ""
+            )
+        )
+    lines += [
         f"  verdict         {'ZERO LOST ACKS' if result.ok else 'ACKS LOST'}",
     ]
     for detail in result.divergence_details[:5]:

@@ -330,3 +330,23 @@ class AckJournal:
                         except FileSystemError:
                             pass
         return report
+
+    def audit_remote(self, store, *, repair: bool = False) -> AuditReport:
+        """Audit the promise ledger against the remote tier *alone*.
+
+        The hard version of :meth:`audit`: the local disk is thrown
+        away.  The full device image is materialized from the object
+        store behind ``store`` (a
+        :class:`~repro.backend.tiered.TieredStore`), installed on a
+        scratch machine, taken through cold recovery (fsck + mount),
+        and the ordinary audit replays against that scratch VFS.
+        ``report.ok`` therefore means: no acknowledged operation
+        depends on a dirty block that never uploaded — the remote tier
+        by itself reconstructs every promise.  Raises
+        :class:`~repro.backend.common.BackendOutage` when the store is
+        unreachable.
+        """
+        from repro.backend.audit import mount_materialized
+
+        scratch, _report, _image = mount_materialized(store)
+        return self.audit(scratch.vfs, repair=repair)

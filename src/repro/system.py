@@ -60,6 +60,12 @@ class SystemSpec:
     #: Build a Phoenix-style checkpointing cache instead of Rio (the
     #: related-work comparison of section 6); implies the rio policy.
     phoenix: bool = False
+    #: Tiered backing store behind the root disk: "local" |
+    #: "objectstore" | "tiered" (see :mod:`repro.backend`), or None for
+    #: the classic single-tier stack (zero behavior change).
+    backend: Optional[str] = None
+    #: Seed of the backend's latency/failure model.
+    backend_seed: int = 0
 
     def describe(self) -> str:
         rio = "none"
@@ -76,6 +82,10 @@ class RebootReport:
     fsck: Optional[FsckReport] = None
     journal_records_applied: int = 0
     cold: bool = False
+    #: Remote-tier reconcile that ran after the local fsck (a
+    #: :class:`~repro.backend.fsck_remote.RemoteFsckReport`), or None
+    #: when the system has no backing store.
+    remote: Optional[object] = None
 
 
 class System:
@@ -111,6 +121,20 @@ class System:
         self.rio: Optional[RioFileCache] = None
         self.fs = None
         self.vfs: Optional[VFS] = None
+        #: Tiered backing store behind the root disk, or None (see
+        #: :meth:`install_backend`).
+        self.backing = None
+        if spec.backend is not None and self.disk is not None:
+            from repro.backend import make_backing_store
+
+            self.install_backend(
+                make_backing_store(
+                    spec.backend,
+                    disk=self.disk,
+                    clock=self.machine.clock,
+                    seed=spec.backend_seed,
+                )
+            )
         #: Callables run at the end of every reboot (see
         #: :meth:`add_reboot_hook`); services layered on the system use
         #: them to reconstruct state the reboot invalidated.
@@ -128,6 +152,10 @@ class System:
         # Chaos survives warm reboots: the registry lives on the System,
         # and every freshly booted kernel gets re-pointed at it.
         self.kernel.chaos = getattr(self, "chaos", None)
+        # So does the backing store: the remote tier outlives the
+        # machine (that is the point), so each new kernel is re-pointed
+        # at the same store object.
+        self.kernel.backing = getattr(self, "backing", None)
         guard = None
         self.phoenix = None
         if spec.phoenix:
@@ -172,6 +200,10 @@ class System:
         """Reboot after a crash, running the configured recovery chain."""
         report = RebootReport(cold=not preserve_memory)
         self.machine.reset(preserve_memory=preserve_memory)
+        if self.backing is not None:
+            # The upload queue and remote-map mirrors were kernel heap:
+            # the crash destroyed them with everything else.
+            self.backing.on_machine_crash()
 
         image = entries = None
         warm_enabled = (
@@ -191,6 +223,15 @@ class System:
             report.journal_records_applied = advfs_recover(self.disk)
         if self.disk is not None:
             report.fsck = fsck(self.disk)
+        if self.backing is not None:
+            # Remote-tier fsck follows the local one: the surviving
+            # local disk is the authority, and the object store is
+            # reconciled to mirror it before any remote read is trusted
+            # (s3ql's mount-requires-fsck rule).  An outage defers the
+            # reconcile; dirty uploads simply remain pending.
+            from repro.backend.fsck_remote import fsck_remote
+
+            report.remote = fsck_remote(self.backing, batch=True)
 
         self._boot_stack(first=False)
 
@@ -218,6 +259,24 @@ class System:
             self.kernel.chaos = registry
         for disk in self.machine.disks.values():
             disk.chaos = registry
+        if self.backing is not None:
+            self.backing.remote.chaos = registry
+
+    def install_backend(self, store) -> None:
+        """Attach a :class:`~repro.backend.tiered.TieredStore`.
+
+        Points the store at the machine clock and flight recorder (both
+        survive machine resets, so one installation covers every
+        reboot), gives the kernel its upload hook, and forwards any
+        already-installed chaos registry to the remote tier.
+        """
+        self.backing = store
+        store.attach(self.machine.clock)
+        store.recorder = self.machine.recorder
+        if getattr(self, "chaos", None) is not None:
+            store.remote.chaos = self.chaos
+        if self.kernel is not None:
+            self.kernel.backing = store
 
     def add_reboot_hook(self, hook) -> None:
         """Register ``hook(system, report)`` to run at the end of every

@@ -138,6 +138,7 @@ class TestCrashSpec:
             "metadata-atomic",
             "shadow-never-torn",
             "fsck-dissect-agree",
+            "remote-tier-consistent",
         ]
 
     def test_violations_carry_the_replay_identity(self):
